@@ -1,0 +1,73 @@
+"""T2 — the cross-flow synthesis matrix: every workload through every flow.
+
+This is the comparison the survey implies but never runs: the same
+programs, one frontend, eleven language semantics.  For each accepting
+(workload, flow) pair the table reports cycles, estimated clock, latency,
+and area; rejections print the historical reason.  Functional equivalence
+against the golden model is asserted for every cell.
+"""
+
+import pytest
+
+from repro.flows import COMPILABLE, FlowError, REGISTRY, UnsupportedFeature
+from repro.interp import run_program
+from repro.lang import parse
+from repro.report import format_table
+from repro.workloads import WORKLOADS
+
+
+def run_matrix():
+    rows = []
+    rejections = []
+    mismatches = 0
+    for workload in WORKLOADS:
+        program, info = parse(workload.source)
+        golden = run_program(program, info, "main", workload.args)
+        for key in COMPILABLE:
+            try:
+                design = REGISTRY[key].compile(program, info, "main")
+                result = design.run(args=workload.args)
+            except (UnsupportedFeature, FlowError) as rejection:
+                rejections.append([workload.name, key,
+                                   str(rejection).split("] ", 1)[-1][:60]])
+                continue
+            if result.value != golden.value:
+                mismatches += 1
+            cost = design.cost()
+            latency = (
+                result.cycles * cost.clock_ns
+                if cost.clock_ns > 0 else result.time_ns
+            )
+            rows.append([
+                workload.name, key, result.value, result.cycles,
+                f"{cost.clock_ns:.1f}", f"{latency:.0f}",
+                f"{cost.area_ge:.0f}",
+            ])
+    return rows, rejections, mismatches
+
+
+def test_flow_matrix(benchmark, save_report):
+    rows, rejections, mismatches = benchmark.pedantic(
+        run_matrix, rounds=1, iterations=1
+    )
+    assert mismatches == 0, "every accepted compilation must match golden"
+    text = format_table(
+        ["workload", "flow", "value", "cycles", "clock(ns)", "latency(ns)",
+         "area(GE)"],
+        rows,
+        title="T2: workload x flow synthesis matrix",
+    )
+    text += "\n\n" + format_table(
+        ["workload", "flow", "rejection (historical restriction)"],
+        rejections,
+        title="T2 rejections",
+    )
+    save_report("t2_flow_matrix", text)
+    # Coverage: most cells compile; every flow accepts something.
+    assert len(rows) >= 120
+    flows_seen = {r[1] for r in rows}
+    assert flows_seen == set(COMPILABLE)
+    # Rejections follow Table 1's feature boundaries, not randomness.
+    rejecting_flows = {r[1] for r in rejections}
+    assert "cones" in rejecting_flows          # dynamic bounds/pointers
+    assert "transmogrifier" in rejecting_flows # channels/par/pointers

@@ -1,0 +1,94 @@
+"""E8 — C's flat memory model vs hardware's many small memories.
+
+Paper claim: "C's memory model is an undifferentiated array of bytes, yet
+many small, varied memories are most effective in hardware."
+
+Regenerated table: memory-bound kernels synthesized twice — once with each
+array in its own single-ported RAM (partitioned), once with everything laid
+out in one unified RAM (C's model, faithfully).  The cycle-count ratio is
+the cost of taking C's memory semantics literally; it grows with the
+number of arrays a loop touches per iteration.
+"""
+
+import pytest
+
+from repro.analysis import compare_memory_models
+from repro.report import format_table
+
+KERNELS = {
+    "stream2": """
+int a[32];
+int b[32];
+int main() {
+    for (int i = 0; i < 32; i++) { b[i] = a[i] * 3 + 1; }
+    return b[31];
+}
+""",
+    "stream3": """
+int a[24];
+int b[24];
+int c[24];
+int main() {
+    for (int i = 0; i < 24; i++) { c[i] = a[i] * b[i] + a[i]; }
+    return c[23];
+}
+""",
+    "stream4": """
+int a[16];
+int b[16];
+int c[16];
+int d[16];
+int main() {
+    for (int i = 0; i < 16; i++) { d[i] = (a[i] + b[i]) * (c[i] + 1); }
+    return d[15];
+}
+""",
+    "gather": """
+int index[16] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3};
+int table[16] = {10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25};
+int out[16];
+int main() {
+    for (int i = 0; i < 16; i++) { out[i] = table[index[i] & 15]; }
+    return out[15];
+}
+""",
+    "single": """
+int a[32];
+int main() {
+    int s = 0;
+    for (int i = 0; i < 32; i++) { a[i] = i; s += a[i]; }
+    return s;
+}
+""",
+}
+
+
+def run_all():
+    results = []
+    for name, source in KERNELS.items():
+        comparison = compare_memory_models(source)
+        results.append((name, comparison))
+    return results
+
+
+def test_memory_models(benchmark, save_report):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [name, c.partitioned_memories, c.monolithic_words,
+         c.partitioned_cycles, c.monolithic_cycles, f"{c.slowdown:.2f}x"]
+        for name, c in results
+    ]
+    text = format_table(
+        ["kernel", "#memories", "unified words", "partitioned cyc",
+         "monolithic cyc", "slowdown"],
+        rows,
+        title="E8: partitioned per-array memories vs C's unified memory",
+    )
+    save_report("e8_memory_model", text)
+    by_name = dict(results)
+    # More arrays touched per iteration -> worse serialization.
+    assert by_name["stream4"].slowdown >= by_name["stream2"].slowdown
+    assert by_name["stream3"].slowdown > 1.1
+    assert by_name["stream4"].slowdown > 1.2
+    # A single array has little to lose: the flat model is nearly free.
+    assert by_name["single"].slowdown < by_name["stream4"].slowdown

@@ -1,0 +1,80 @@
+"""E11 (ablation) — what the classic middle-end buys an HLS compiler.
+
+The paper notes that C's efficiency promises "demand compilers with
+aggressive optimization".  DESIGN.md decision: every scheduled flow runs
+the fold/CSE/DCE/CFG-simplify pipeline before scheduling.  This ablation
+measures what that pipeline is worth, per workload: operation count,
+cycle count, and estimated area with the optimizer on vs off.
+"""
+
+import pytest
+
+from repro.analysis.pointer import plan_pointers
+from repro.binding import estimate_cost
+from repro.ir import build_function
+from repro.ir.passes import inline_program, optimize
+from repro.lang import parse
+from repro.report import format_table
+from repro.rtl.fsmd import FSMDSystem, fsmd_from_schedule
+from repro.scheduling import ResourceSet, list_schedule_function
+from repro.sim import simulate
+from repro.lang.types import ArrayType
+from repro.workloads import WORKLOADS
+
+CANDIDATES = [w for w in WORKLOADS if w.category in ("regular", "memory", "control")]
+
+
+def synthesize(workload, optimized):
+    program, info = parse(workload.source)
+    inlined, _ = inline_program(program, info)
+    fn = inlined.function("main")
+    cdfg = build_function(fn, info, plan_pointers(fn))
+    if optimized:
+        optimize(cdfg)
+    schedule = list_schedule_function(cdfg, ResourceSet.typical(), clock_ns=5.0)
+    fsmd = fsmd_from_schedule(schedule)
+    system = FSMDSystem(
+        fsmds=[fsmd],
+        global_registers=[g.symbol for g in program.globals
+                          if not isinstance(g.var_type, ArrayType)],
+        global_arrays=[g.symbol for g in program.globals
+                       if isinstance(g.var_type, ArrayType)],
+        global_inits=dict(info.global_inits),
+    )
+    run = simulate(system, args=workload.args)
+    cost = estimate_cost(schedule)
+    return cdfg.op_count(), run, cost
+
+
+def ablate():
+    rows = []
+    total_cycle_gain = []
+    for workload in CANDIDATES:
+        raw_ops, raw_run, raw_cost = synthesize(workload, optimized=False)
+        opt_ops, opt_run, opt_cost = synthesize(workload, optimized=True)
+        assert raw_run.value == opt_run.value
+        gain = raw_run.cycles / max(opt_run.cycles, 1)
+        total_cycle_gain.append(gain)
+        rows.append([
+            workload.name, raw_ops, opt_ops, raw_run.cycles, opt_run.cycles,
+            f"{gain:.2f}x",
+            f"{raw_cost.total_area_ge:.0f}", f"{opt_cost.total_area_ge:.0f}",
+        ])
+    return rows, total_cycle_gain
+
+
+def test_optimizer_ablation(benchmark, save_report):
+    rows, gains = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    text = format_table(
+        ["workload", "ops (raw)", "ops (opt)", "cycles (raw)",
+         "cycles (opt)", "cycle gain", "area raw", "area opt"],
+        rows,
+        title="E11: optimizer ablation (fold+CSE+DCE+CFG-simplify)",
+    )
+    save_report("e11_optimizer", text)
+    # Optimization never hurts cycles, and wins somewhere meaningful.
+    assert all(g >= 0.999 for g in gains)
+    assert max(gains) > 1.3
+    # Op counts shrink essentially everywhere.
+    shrunk = sum(1 for r in rows if r[2] <= r[1])
+    assert shrunk == len(rows)

@@ -1,0 +1,25 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's exhibits (Table 1 or an
+experiment from DESIGN.md/EXPERIMENTS.md) and writes the resulting table
+or series to ``benchmarks/results/<name>.txt`` so the numbers survive the
+pytest run.  The ``benchmark`` fixture times each experiment's core
+computation.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

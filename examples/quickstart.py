@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: compile one C-like program with three very different flows.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import compile_flow
+from repro.interp import run_source
+
+SOURCE = """
+int main(int n) {
+    int sum = 0;
+    for (int i = 1; i <= n; i++) {
+        sum += i * i;
+    }
+    return sum;
+}
+"""
+
+ARGS = (10,)
+
+
+def main() -> None:
+    golden = run_source(SOURCE, args=ARGS)
+    print(f"golden model:        sum of squares(10) = {golden.value}")
+    print()
+
+    for flow in ("handelc", "c2verilog", "cash"):
+        design = compile_flow(SOURCE, flow=flow)
+        result = design.run(args=ARGS)
+        cost = design.cost()
+        assert result.value == golden.value
+        timing = (
+            f"{result.cycles} cycles @ {cost.clock_ns:.1f} ns"
+            if cost.clock_ns > 0
+            else f"{result.time_ns:.0f} ns (asynchronous, no clock)"
+        )
+        print(f"{flow:10s}  value={result.value}   {timing}"
+              f"   area={cost.area_ge:.0f} GE")
+
+    print()
+    print("First 25 lines of the C2Verilog flow's Verilog:")
+    verilog = compile_flow(SOURCE, flow="c2verilog").verilog()
+    print("\n".join(verilog.splitlines()[:25]))
+
+
+if __name__ == "__main__":
+    main()

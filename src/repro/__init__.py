@@ -1,0 +1,41 @@
+"""repro — a C-like hardware synthesis framework.
+
+This package reproduces Stephen A. Edwards, *The Challenges of Hardware
+Synthesis from C-like Languages* (DATE 2005), as an executable system: a
+shared C-like frontend and IR, classic high-level-synthesis scheduling and
+binding, RTL-level artifacts with cycle-accurate simulators, and one
+synthesis *flow* per language the paper surveys (Cones, HardwareC,
+Transmogrifier C, SystemC, Ocapi, C2Verilog, Cyber, Handel-C, SpecC,
+Bach C, CASH).
+
+Quickstart::
+
+    from repro import compile_flow, run_flow
+    result = run_flow("int main() { return 2 + 3; }", flow="handelc")
+    print(result.value, result.cycles)
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from .lang import parse  # noqa: F401
+
+
+def compile_flow(source, flow="c2verilog", function="main", **options):
+    """Compile ``source`` with the named flow; returns a CompiledDesign.
+    See :mod:`repro.flows` for the flow registry."""
+    from .flows import compile_flow as _compile_flow
+
+    return _compile_flow(source, flow=flow, function=function, **options)
+
+
+def run_flow(source, args=(), flow="c2verilog", function="main", **options):
+    """Compile and simulate in one call; returns a FlowResult with the
+    value, cycle count, and cost-model timing.  See :mod:`repro.flows`."""
+    from .flows import run_flow as _run_flow
+
+    return _run_flow(source, args=args, flow=flow, function=function, **options)
+
+
+__all__ = ["compile_flow", "parse", "run_flow", "__version__"]

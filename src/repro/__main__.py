@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run FILE --flow KEY [--args N,N,...]``
+    Compile and simulate a program; prints value, cycles, cost.
+``compile FILE --flow KEY [-o OUT.v]``
+    Compile and emit Verilog.
+``matrix FILE [--args ...]``
+    Run one program through every flow, printing the comparison table.
+``table1``
+    Print the regenerated Table 1.
+``flows``
+    List the registered flows with their concurrency/timing axes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from .flows import (
+    COMPILABLE,
+    REGISTRY,
+    FlowError,
+    UnsupportedFeature,
+    compile_flow,
+    table1_rows,
+)
+from .interp import run_source
+from .report import format_table
+
+
+def _parse_args_list(text: Optional[str]) -> Tuple[int, ...]:
+    if not text:
+        return ()
+    return tuple(int(part) for part in text.split(","))
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def cmd_run(options: argparse.Namespace) -> int:
+    source = _read(options.file)
+    args = _parse_args_list(options.args)
+    design = compile_flow(source, flow=options.flow, function=options.function)
+    result = design.run(args=args)
+    cost = design.cost()
+    print(f"value      : {result.value}")
+    if cost.clock_ns > 0:
+        print(f"cycles     : {result.cycles}")
+        print(f"clock      : {cost.clock_ns:.2f} ns  "
+              f"({cost.fmax_mhz:.0f} MHz)")
+        print(f"latency    : {result.cycles * cost.clock_ns:.1f} ns")
+    else:
+        print(f"latency    : {result.time_ns:.1f} ns (unclocked)")
+    print(f"area       : {cost.area_ge:.0f} GE")
+    if result.globals:
+        print(f"globals    : {result.globals}")
+    if result.channel_log:
+        print(f"channels   : {result.channel_log}")
+    return 0
+
+
+def cmd_compile(options: argparse.Namespace) -> int:
+    source = _read(options.file)
+    design = compile_flow(source, flow=options.flow, function=options.function)
+    verilog = design.verilog()
+    if options.output:
+        with open(options.output, "w") as handle:
+            handle.write(verilog + "\n")
+        print(f"wrote {options.output} ({len(verilog.splitlines())} lines)")
+    else:
+        print(verilog)
+    return 0
+
+
+def cmd_matrix(options: argparse.Namespace) -> int:
+    source = _read(options.file)
+    args = _parse_args_list(options.args)
+    golden = run_source(source, args=args)
+    print(f"golden model: value = {golden.value}\n")
+    rows: List[List[object]] = []
+    for key in COMPILABLE:
+        try:
+            design = REGISTRY[key].compile_source(source, function=options.function)
+            result = design.run(args=args)
+        except (UnsupportedFeature, FlowError) as rejection:
+            rows.append([key, "rejected", "-", "-", "-",
+                         str(rejection).split("] ", 1)[-1][:44]])
+            continue
+        cost = design.cost()
+        status = "OK" if result.value == golden.value else "MISMATCH"
+        latency = (
+            f"{result.cycles * cost.clock_ns:.0f}"
+            if cost.clock_ns > 0 else f"{result.time_ns:.0f}"
+        )
+        rows.append([key, status,
+                     result.cycles if cost.clock_ns > 0 else "-",
+                     latency, f"{cost.area_ge:.0f}", ""])
+    print(format_table(
+        ["flow", "status", "cycles", "latency(ns)", "area(GE)", "note"], rows
+    ))
+    return 0
+
+
+def cmd_table1(_: argparse.Namespace) -> int:
+    rows = table1_rows()
+    print(format_table(
+        ["language", "year", "note", "concurrency", "timing"],
+        [[r["language"], r["year"], r["note"], r["concurrency"], r["timing"]]
+         for r in rows],
+        title="Table 1: C-like languages/compilers (chronological order)",
+    ))
+    return 0
+
+
+def cmd_flows(_: argparse.Namespace) -> int:
+    rows = []
+    for key, flow in REGISTRY.items():
+        meta = flow.metadata
+        rows.append([key, meta.title, meta.concurrency_detail[:44],
+                     meta.timing_detail[:44]])
+    print(format_table(["key", "language", "concurrency", "timing"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="C-like hardware synthesis framework"
+                    " (Edwards, DATE 2005, reproduced)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="compile and simulate")
+    run_parser.add_argument("file")
+    run_parser.add_argument("--flow", default="c2verilog",
+                            choices=sorted(REGISTRY))
+    run_parser.add_argument("--function", default="main")
+    run_parser.add_argument("--args", help="comma-separated integers")
+    run_parser.set_defaults(handler=cmd_run)
+
+    compile_parser = sub.add_parser("compile", help="compile to Verilog")
+    compile_parser.add_argument("file")
+    compile_parser.add_argument("--flow", default="c2verilog",
+                                choices=sorted(REGISTRY))
+    compile_parser.add_argument("--function", default="main")
+    compile_parser.add_argument("-o", "--output")
+    compile_parser.set_defaults(handler=cmd_compile)
+
+    matrix_parser = sub.add_parser("matrix", help="all flows on one program")
+    matrix_parser.add_argument("file")
+    matrix_parser.add_argument("--function", default="main")
+    matrix_parser.add_argument("--args", help="comma-separated integers")
+    matrix_parser.set_defaults(handler=cmd_matrix)
+
+    sub.add_parser("table1", help="print Table 1").set_defaults(
+        handler=cmd_table1
+    )
+    sub.add_parser("flows", help="list flows").set_defaults(handler=cmd_flows)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    options = build_parser().parse_args(argv)
+    try:
+        return options.handler(options)
+    except (UnsupportedFeature, FlowError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Program analyses: pointers/memory planning, ILP limits, dependences,
+liveness, and call graphs."""
+
+from .callgraph import CallGraph, build_callgraph
+from .dependence import BlockDependenceStats, block_stats, function_stats
+from .ilp import ILPProfile, Trace, ilp, ilp_profile, trace_execution
+from .liveness import LivenessInfo, analyze_liveness
+from .memory import (
+    MemoryComparison,
+    arrays_of,
+    compare_memory_models,
+    monolithic_plan,
+    partitioned_plan,
+)
+from .pointer import PointerPlan, PointerStats, plan_pointers
+
+__all__ = [
+    "BlockDependenceStats",
+    "CallGraph",
+    "ILPProfile",
+    "LivenessInfo",
+    "MemoryComparison",
+    "PointerPlan",
+    "PointerStats",
+    "Trace",
+    "analyze_liveness",
+    "arrays_of",
+    "block_stats",
+    "build_callgraph",
+    "compare_memory_models",
+    "function_stats",
+    "ilp",
+    "ilp_profile",
+    "monolithic_plan",
+    "partitioned_plan",
+    "plan_pointers",
+    "trace_execution",
+]

@@ -1,0 +1,68 @@
+"""Call-graph construction and queries over a type-checked program."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..lang.semantic import SemanticInfo
+
+
+@dataclass
+class CallGraph:
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def callees(self, name: str) -> Set[str]:
+        return self.edges.get(name, set())
+
+    def reachable(self, root: str) -> Set[str]:
+        seen: Set[str] = set()
+        work = [root]
+        while work:
+            current = work.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            work.extend(self.edges.get(current, ()))
+        return seen
+
+    def is_recursive(self, root: str) -> bool:
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[str, int] = {}
+
+        def visit(name: str) -> bool:
+            color[name] = GRAY
+            for callee in sorted(self.edges.get(name, ())):
+                state = color.get(callee, WHITE)
+                if state == GRAY:
+                    return True
+                if state == WHITE and visit(callee):
+                    return True
+            color[name] = BLACK
+            return False
+
+        return visit(root)
+
+    def max_call_depth(self, root: str, limit: int = 64) -> Optional[int]:
+        """Longest acyclic call chain from root; None when recursive."""
+        if self.is_recursive(root):
+            return None
+        depth_cache: Dict[str, int] = {}
+
+        def depth(name: str) -> int:
+            if name in depth_cache:
+                return depth_cache[name]
+            best = 0
+            for callee in self.edges.get(name, ()):
+                best = max(best, 1 + depth(callee))
+            depth_cache[name] = best
+            return best
+
+        return depth(root)
+
+
+def build_callgraph(info: SemanticInfo) -> CallGraph:
+    graph = CallGraph()
+    for name, fn_info in info.functions.items():
+        graph.edges[name] = set(fn_info.callees)
+    return graph

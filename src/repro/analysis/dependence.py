@@ -1,0 +1,81 @@
+"""Dependence statistics over CDFG blocks.
+
+Thin analysis layer over :func:`repro.scheduling.base.build_dependence_graph`
+that quantifies *why* a block's parallelism is what it is — the raw material
+of the concurrency discussion (E2/E3): how many dependence edges are flow,
+memory, or fence; how deep the critical path is; how wide the block could
+issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..ir.cdfg import BasicBlock, FunctionCDFG
+from ..ir.ops import OpKind, VReg
+from ..scheduling.asap import unit_asap
+from ..scheduling.base import build_dependence_graph, unit_latency
+
+
+@dataclass
+class BlockDependenceStats:
+    label: str
+    op_count: int
+    flow_edges: int
+    memory_edges: int
+    fence_edges: int
+    critical_path: int
+    max_width: int          # widest ASAP step
+    average_width: float    # ops / critical path
+
+    @property
+    def total_edges(self) -> int:
+        return self.flow_edges + self.memory_edges + self.fence_edges
+
+
+def block_stats(block: BasicBlock) -> BlockDependenceStats:
+    """Classify and count dependences in one block."""
+    graph = build_dependence_graph(block)
+    by_id = {op.id: op for op in block.ops}
+    producers = {
+        op.dest: op for op in block.ops if op.dest is not None
+    }
+    flow = memory = fence = 0
+    for op in block.ops:
+        producer_ids = {
+            producers[o].id for o in op.operands
+            if isinstance(o, VReg) and o in producers
+        }
+        for pred_id in graph.predecessors(op):
+            pred = by_id[pred_id]
+            if pred_id in producer_ids:
+                flow += 1
+            elif pred.is_memory() and op.is_memory():
+                memory += 1
+            else:
+                fence += 1
+    if block.ops:
+        asap = unit_asap(block, graph)
+        widths: Dict[int, int] = {}
+        for op in block.ops:
+            widths[asap.op_step[op.id]] = widths.get(asap.op_step[op.id], 0) + 1
+        critical = asap.n_steps
+        max_width = max(widths.values())
+    else:
+        critical = 1
+        max_width = 0
+    return BlockDependenceStats(
+        label=block.label,
+        op_count=len(block.ops),
+        flow_edges=flow,
+        memory_edges=memory,
+        fence_edges=fence,
+        critical_path=critical,
+        max_width=max_width,
+        average_width=len(block.ops) / critical if critical else 0.0,
+    )
+
+
+def function_stats(cdfg: FunctionCDFG) -> List[BlockDependenceStats]:
+    return [block_stats(b) for b in cdfg.reachable_blocks()]

@@ -1,0 +1,295 @@
+"""Instruction-level parallelism limit study (Wall, ASPLOS 1991 style).
+
+The paper: *"Now the preferred approach in the computer architecture
+community, it seems that ILP beyond about five simultaneous instructions is
+unlikely due to fundamental limits [Wall]."*
+
+This module reproduces the experiment's method on our workloads: execute a
+program once to obtain its **dynamic operation trace** with exact
+dependences (flow dependences through registers and wires, plus
+address-exact memory dependences — the "perfect disambiguation" oracle),
+then replay the trace under different machine idealizations:
+
+* ``control='perfect'`` — branches predicted perfectly: only data
+  dependences constrain issue (Wall's upper-bound oracle);
+* ``control='real'`` — no speculation: an operation cannot issue before the
+  branch that decided its basic block resolved (the basic-block-limited
+  model the paper contrasts with);
+
+and under a finite **instruction window**: each cycle the scheduler may
+issue only ready operations among the next W un-issued ones in program
+order.  ILP(W) rises with W and flattens into the plateau the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..interp.machine import eval_binary, eval_unary, wrap
+from ..lang.errors import InterpError
+from ..lang.symtab import Symbol
+from ..lang.types import ArrayType
+from ..ir.cdfg import FunctionCDFG
+from ..ir.ops import Branch, Const, Jump, Operand, Operation, OpKind, Ret, VReg, VarRead
+
+
+@dataclass
+class DynamicOp:
+    """One executed operation instance."""
+
+    index: int
+    kind: str
+    data_deps: List[int] = field(default_factory=list)
+    control_dep: Optional[int] = None  # branch instance gating this op
+
+
+@dataclass
+class Trace:
+    ops: List[DynamicOp] = field(default_factory=list)
+    value: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+class _TraceExecutor:
+    """Runs a CDFG, recording per-instance dependences."""
+
+    def __init__(
+        self,
+        cdfg: FunctionCDFG,
+        args: Sequence[int],
+        register_init: Optional[Dict[Symbol, int]] = None,
+        memory_init: Optional[Dict[Symbol, List[int]]] = None,
+        max_ops: int = 400_000,
+    ):
+        self.cdfg = cdfg
+        self.max_ops = max_ops
+        self.registers: Dict[Symbol, int] = {s: 0 for s in cdfg.registers}
+        self.reg_producer: Dict[Symbol, int] = {}
+        self.memories: Dict[Symbol, List[int]] = {}
+        self.mem_producer: Dict[Tuple[str, int], int] = {}  # (mem, addr) -> store
+        for array in cdfg.arrays:
+            assert isinstance(array.type, ArrayType)
+            self.memories[array] = [0] * array.type.size
+        if register_init:
+            for symbol, value in register_init.items():
+                self.registers[symbol] = wrap(value, symbol.type)
+        if memory_init:
+            for symbol, values in memory_init.items():
+                words = self.memories.setdefault(symbol, [0] * len(values))
+                for i, v in enumerate(values):
+                    words[i] = v
+        scalar_params = [p for p in cdfg.params if not isinstance(p.type, ArrayType)]
+        if len(args) != len(scalar_params):
+            raise InterpError(
+                f"{cdfg.name} expects {len(scalar_params)} arguments,"
+                f" got {len(args)}"
+            )
+        for symbol, value in zip(scalar_params, args):
+            self.registers[symbol] = wrap(value, symbol.type)
+        self.trace = Trace()
+        self.last_branch: Optional[int] = None
+
+    def _record(self, kind: str, deps: List[int]) -> int:
+        index = len(self.trace.ops)
+        if index >= self.max_ops:
+            raise InterpError(f"trace budget of {self.max_ops} ops exceeded")
+        self.trace.ops.append(
+            DynamicOp(
+                index=index,
+                kind=kind,
+                data_deps=sorted(set(d for d in deps if d >= 0)),
+                control_dep=self.last_branch,
+            )
+        )
+        return index
+
+    def run(self) -> Trace:
+        block = self.cdfg.entry
+        assert block is not None
+        while True:
+            values: Dict[VReg, int] = {}
+            producers: Dict[VReg, int] = {}
+            entry_registers = dict(self.registers)
+            entry_producers = dict(self.reg_producer)
+
+            def read(operand: Operand) -> Tuple[int, int]:
+                """(value, producing instance or -1)."""
+                if isinstance(operand, Const):
+                    return operand.value, -1
+                if isinstance(operand, VarRead):
+                    return (
+                        entry_registers.get(operand.var, 0),
+                        entry_producers.get(operand.var, -1),
+                    )
+                return values[operand], producers[operand]
+
+            for op in block.ops:
+                reads = [read(o) for o in op.operands]
+                deps = [p for _, p in reads]
+                vals = [v for v, _ in reads]
+                if op.kind is OpKind.BINARY:
+                    assert op.dest is not None
+                    result = eval_binary(op.op, vals[0], vals[1], op.dest.type)
+                elif op.kind is OpKind.UNARY:
+                    assert op.dest is not None
+                    result = eval_unary(op.op, vals[0], op.dest.type)
+                elif op.kind is OpKind.CAST:
+                    assert op.dest is not None
+                    result = wrap(vals[0], op.dest.type)
+                elif op.kind is OpKind.SELECT:
+                    assert op.dest is not None
+                    result = wrap(vals[1] if vals[0] else vals[2], op.dest.type)
+                elif op.kind is OpKind.LOAD:
+                    assert op.dest is not None and op.array is not None
+                    memory = self.memories[op.array]
+                    address = vals[0]
+                    if not 0 <= address < len(memory):
+                        raise InterpError("out-of-bounds load in trace")
+                    result = memory[address]
+                    deps.append(
+                        self.mem_producer.get((op.array.unique_name, address), -1)
+                    )
+                elif op.kind is OpKind.STORE:
+                    assert op.array is not None
+                    memory = self.memories[op.array]
+                    address = vals[0]
+                    if not 0 <= address < len(memory):
+                        raise InterpError("out-of-bounds store in trace")
+                    memory[address] = vals[1]
+                    index = self._record("store", deps)
+                    self.mem_producer[(op.array.unique_name, address)] = index
+                    continue
+                elif op.kind in (OpKind.BARRIER, OpKind.DELAY, OpKind.NOP):
+                    continue
+                else:
+                    raise InterpError(f"trace cannot execute {op.kind}")
+                index = self._record(op.kind.value, deps)
+                if op.dest is not None:
+                    values[op.dest] = result
+                    producers[op.dest] = index
+            # Latch registers (copies are free: producer flows through).
+            latched = []
+            for var, value in block.var_writes.items():
+                raw, producer = read(value)
+                latched.append((var, wrap(raw, var.type), producer))
+            for var, raw, producer in latched:
+                self.registers[var] = raw
+                self.reg_producer[var] = producer
+            terminator = block.terminator
+            if isinstance(terminator, Jump):
+                block = terminator.target
+            elif isinstance(terminator, Branch):
+                cond_value, cond_producer = read(terminator.cond)
+                branch_index = self._record(
+                    "branch", [cond_producer]
+                )
+                self.last_branch = branch_index
+                block = terminator.if_true if cond_value else terminator.if_false
+            elif isinstance(terminator, Ret):
+                if terminator.value is not None:
+                    raw, _ = read(terminator.value)
+                    self.trace.value = (
+                        wrap(raw, self.cdfg.return_type)
+                        if self.cdfg.return_type.bit_width
+                        else raw
+                    )
+                return self.trace
+            else:
+                raise InterpError(f"{block.label} has no terminator")
+
+
+def trace_execution(
+    cdfg: FunctionCDFG,
+    args: Sequence[int] = (),
+    register_init: Optional[Dict[Symbol, int]] = None,
+    memory_init: Optional[Dict[Symbol, List[int]]] = None,
+    max_ops: int = 400_000,
+) -> Trace:
+    """Execute once and return the dynamic dependence trace."""
+    return _TraceExecutor(
+        cdfg, args, register_init, memory_init, max_ops
+    ).run()
+
+
+def _issue_times(
+    trace: Trace, window: Optional[int], control: str
+) -> Tuple[int, List[int]]:
+    """Greedy issue: each cycle, issue every ready op within the window.
+    Returns (cycles, per-op issue time)."""
+    n = len(trace.ops)
+    if n == 0:
+        return 1, []
+    issue = [-1] * n
+    next_unissued = 0
+    cycle = 0
+    guard = 0
+    while next_unissued < n:
+        guard += 1
+        if guard > 4 * n + 16:
+            raise RuntimeError("issue simulation failed to make progress")
+        limit = n if window is None else min(n, next_unissued + window)
+        issued_any = False
+        for i in range(next_unissued, limit):
+            if issue[i] >= 0:
+                continue
+            ready = True
+            for dep in trace.ops[i].data_deps:
+                if issue[dep] < 0 or issue[dep] >= cycle:
+                    ready = False
+                    break
+            if ready and control == "real":
+                gate = trace.ops[i].control_dep
+                if gate is not None and (issue[gate] < 0 or issue[gate] >= cycle):
+                    ready = False
+            if ready:
+                issue[i] = cycle
+                issued_any = True
+        while next_unissued < n and issue[next_unissued] >= 0:
+            next_unissued += 1
+        cycle += 1
+        if not issued_any and next_unissued < n:
+            continue  # dependences resolve next cycle
+    return cycle, issue
+
+
+def ilp(trace: Trace, window: Optional[int] = None, control: str = "perfect") -> float:
+    """Average instructions per cycle under the given idealization."""
+    if len(trace) == 0:
+        return 0.0
+    cycles, _ = _issue_times(trace, window, control)
+    return len(trace) / max(cycles, 1)
+
+
+@dataclass
+class ILPProfile:
+    """The E2 curve for one workload."""
+
+    workload: str
+    trace_length: int
+    dataflow_limit: float                  # perfect control, infinite window
+    no_speculation_limit: float            # real control, infinite window
+    by_window: Dict[int, float] = field(default_factory=dict)   # perfect control
+
+
+def ilp_profile(
+    name: str,
+    cdfg: FunctionCDFG,
+    args: Sequence[int] = (),
+    windows: Sequence[int] = (2, 4, 8, 16, 32, 64, 128),
+    register_init: Optional[Dict[Symbol, int]] = None,
+    memory_init: Optional[Dict[Symbol, List[int]]] = None,
+) -> ILPProfile:
+    """The full ILP study for one compiled workload."""
+    trace = trace_execution(cdfg, args, register_init, memory_init)
+    profile = ILPProfile(
+        workload=name,
+        trace_length=len(trace),
+        dataflow_limit=ilp(trace, None, "perfect"),
+        no_speculation_limit=ilp(trace, None, "real"),
+    )
+    for window in windows:
+        profile.by_window[window] = ilp(trace, window, "perfect")
+    return profile

@@ -1,0 +1,72 @@
+"""Variable liveness across CDFG blocks.
+
+Classic backward dataflow: a variable is live-in to a block if the block
+reads it before (re)writing it, or it flows out to a successor that needs
+it.  Used to report register pressure — how many architectural registers a
+design really needs at once — and to sanity-check allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from ..lang.symtab import Symbol
+from ..ir.cdfg import BasicBlock, FunctionCDFG
+from ..ir.ops import Branch, Ret, VarRead
+
+
+def _block_uses(block: BasicBlock) -> Set[Symbol]:
+    """Variables whose block-entry value the block observes (VarRead is
+    always the entry value in this IR, so every read is an upward use)."""
+    uses: Set[Symbol] = set()
+    for op in block.ops:
+        for operand in op.operands:
+            if isinstance(operand, VarRead):
+                uses.add(operand.var)
+    terminator = block.terminator
+    if isinstance(terminator, Branch) and isinstance(terminator.cond, VarRead):
+        uses.add(terminator.cond.var)
+    elif isinstance(terminator, Ret) and isinstance(terminator.value, VarRead):
+        uses.add(terminator.value.var)
+    for value in block.var_writes.values():
+        if isinstance(value, VarRead):
+            uses.add(value.var)
+    return uses
+
+
+@dataclass
+class LivenessInfo:
+    live_in: Dict[int, Set[Symbol]] = field(default_factory=dict)
+    live_out: Dict[int, Set[Symbol]] = field(default_factory=dict)
+
+    def pressure(self) -> int:
+        """Peak number of simultaneously live variables at block borders."""
+        peak = 0
+        for live in list(self.live_in.values()) + list(self.live_out.values()):
+            peak = max(peak, len(live))
+        return peak
+
+
+def analyze_liveness(cdfg: FunctionCDFG) -> LivenessInfo:
+    """Iterative backward liveness to a fixed point."""
+    blocks = cdfg.reachable_blocks()
+    uses = {b.id: _block_uses(b) for b in blocks}
+    defs = {b.id: set(b.var_writes) for b in blocks}
+    info = LivenessInfo(
+        live_in={b.id: set() for b in blocks},
+        live_out={b.id: set() for b in blocks},
+    )
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            out: Set[Symbol] = set()
+            for successor in block.successors():
+                out |= info.live_in.get(successor.id, set())
+            new_in = uses[block.id] | (out - defs[block.id])
+            if out != info.live_out[block.id] or new_in != info.live_in[block.id]:
+                info.live_out[block.id] = out
+                info.live_in[block.id] = new_in
+                changed = True
+    return info

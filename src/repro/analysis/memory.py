@@ -1,0 +1,139 @@
+"""Memory-architecture analysis: monolithic vs. partitioned memories (E8).
+
+The paper: *"C's memory model is an undifferentiated array of bytes, yet
+many small, varied memories are most effective in hardware."*
+
+Two lowering plans make the claim measurable on any workload:
+
+* :func:`partitioned_plan` — each array gets its own (single-ported)
+  memory: accesses to different arrays schedule in the same cycle;
+* :func:`monolithic_plan` — every array (and address-taken scalar) is laid
+  out in **one** unified memory with one port: every access serializes,
+  exactly as a faithful translation of C's flat address space would.
+
+The schedule-length and cycle-count gap between the two is the experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..lang import ast_nodes as ast
+from ..lang.symtab import Symbol, SymbolKind
+from ..lang.types import ArrayType, IntType
+from .pointer import PointerPlan, plan_pointers
+
+
+def arrays_of(fn: ast.FunctionDef) -> List[Symbol]:
+    """Every array symbol the (inlined) function touches, in first-use
+    order: locals, globals, and array parameters."""
+    seen: Dict[Symbol, None] = {}
+    for param in fn.params:
+        symbol: Symbol = param.symbol  # type: ignore[attr-defined]
+        if isinstance(symbol.type, ArrayType):
+            seen.setdefault(symbol, None)
+    for stmt in ast.walk_stmts(fn.body):
+        if isinstance(stmt, ast.VarDecl):
+            symbol = stmt.symbol  # type: ignore[attr-defined]
+            if isinstance(symbol.type, ArrayType):
+                seen.setdefault(symbol, None)
+        for expr in ast.stmt_expressions(stmt):
+            for sub in ast.walk_expr(expr):
+                if isinstance(sub, ast.Identifier) and isinstance(
+                    sub.type, ArrayType
+                ):
+                    seen.setdefault(sub.symbol, None)  # type: ignore[attr-defined]
+    return list(seen)
+
+
+def partitioned_plan(fn: ast.FunctionDef, enable_pointer_analysis: bool = True) -> PointerPlan:
+    """The normal plan: pointer analysis decides; arrays keep their own
+    memories wherever possible."""
+    return plan_pointers(fn, enable_analysis=enable_pointer_analysis)
+
+
+def monolithic_plan(fn: ast.FunctionDef) -> PointerPlan:
+    """Force C's flat memory model: one RAM, one port, everything inside."""
+    base_plan = plan_pointers(fn, enable_analysis=False)
+    arrays = arrays_of(fn)
+    objects: List[Symbol] = []
+    seen: Set[Symbol] = set()
+    for symbol in list(base_plan.in_memory) + arrays:
+        if symbol not in seen:
+            seen.add(symbol)
+            objects.append(symbol)
+    plan = PointerPlan(mode="unified")
+    offset = 0
+    for symbol in sorted(objects, key=lambda s: s.unique_name):
+        plan.in_memory.add(symbol)
+        plan.layout[symbol] = offset
+        offset += symbol.type.size if isinstance(symbol.type, ArrayType) else 1
+    plan.memory_size = max(offset, 1)
+    plan.memory_symbol = Symbol(
+        "__mem", ArrayType(IntType(32, signed=True), plan.memory_size),
+        SymbolKind.LOCAL,
+    )
+    plan.stats = base_plan.stats
+    return plan
+
+
+@dataclass
+class MemoryComparison:
+    """One workload's E8 row."""
+
+    workload: str
+    partitioned_cycles: int
+    monolithic_cycles: int
+    partitioned_memories: int
+    monolithic_words: int
+
+    @property
+    def slowdown(self) -> float:
+        if self.partitioned_cycles == 0:
+            return 1.0
+        return self.monolithic_cycles / self.partitioned_cycles
+
+
+def compare_memory_models(
+    source: str,
+    args=(),
+    function: str = "main",
+    clock_ns: float = 5.0,
+) -> MemoryComparison:
+    """Synthesize a program under both memory models and measure cycles."""
+    from ..flows.scheduled import synthesize_fsmd_system
+    from ..lang import parse
+    from ..scheduling.resources import ResourceSet
+
+    program, info = parse(source)
+    results = {}
+    metadata = {}
+    for mode, factory in (
+        ("partitioned", partitioned_plan),
+        ("monolithic", monolithic_plan),
+    ):
+        design = synthesize_fsmd_system(
+            program, info, function,
+            flow_key=f"memory-{mode}",
+            resources=ResourceSet.unlimited(),
+            clock_ns=clock_ns,
+            plan_override=factory,
+        )
+        run = design.run(args=args)
+        results[mode] = run.cycles
+        if mode == "partitioned":
+            metadata["memories"] = sum(
+                len(a.cdfg.arrays) for a in design.artifacts
+            )
+        else:
+            metadata["words"] = sum(
+                a.plan.memory_size for a in design.artifacts
+            )
+    return MemoryComparison(
+        workload=function,
+        partitioned_cycles=results["partitioned"],
+        monolithic_cycles=results["monolithic"],
+        partitioned_memories=metadata.get("memories", 0),
+        monolithic_words=metadata.get("words", 0),
+    )

@@ -1,0 +1,24 @@
+"""Binding and allocation: functional units, registers, datapath cost."""
+
+from .datapath_cost import DatapathCost, estimate_cost
+from .fu_binding import FUBinding, FunctionalUnit, bind_functional_units
+from .register_alloc import (
+    CarrierRegister,
+    Lifetime,
+    RegisterAllocation,
+    allocate_registers,
+    left_edge_pack,
+)
+
+__all__ = [
+    "CarrierRegister",
+    "DatapathCost",
+    "FUBinding",
+    "FunctionalUnit",
+    "Lifetime",
+    "RegisterAllocation",
+    "allocate_registers",
+    "bind_functional_units",
+    "estimate_cost",
+    "left_edge_pack",
+]

@@ -1,0 +1,191 @@
+"""Datapath cost estimation: area and achievable clock for a bound design.
+
+Sharing functional units is not free — every shared unit grows operand
+multiplexers, and every multiplexer level adds delay.  This module prices
+the complete datapath:
+
+* functional units (from the binding);
+* architectural + carrier registers (from the allocation);
+* operand multiplexers (distinct sources per unit port);
+* memories (words × width plus port overhead);
+* the clock estimate: the worst state's chained path, plus the mux levels
+  in front of the busiest unit, plus register setup and skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..lang.types import ArrayType
+from ..rtl.tech import DEFAULT_TECH, Technology
+from ..scheduling.base import FunctionSchedule
+from .fu_binding import FUBinding, bind_functional_units
+from .register_alloc import RegisterAllocation, allocate_registers
+
+
+@dataclass
+class DatapathCost:
+    fu_area_ge: float
+    register_area_ge: float
+    mux_area_ge: float
+    memory_area_ge: float
+    controller_area_ge: float
+    critical_path_ns: float
+    clock_ns: float
+
+    @property
+    def total_area_ge(self) -> float:
+        return (
+            self.fu_area_ge
+            + self.register_area_ge
+            + self.mux_area_ge
+            + self.memory_area_ge
+            + self.controller_area_ge
+        )
+
+    @property
+    def fmax_mhz(self) -> float:
+        return 1000.0 / self.clock_ns if self.clock_ns > 0 else 0.0
+
+
+def estimate_cost(
+    schedule: FunctionSchedule,
+    binding: Optional[FUBinding] = None,
+    allocation: Optional[RegisterAllocation] = None,
+    tech: Technology = DEFAULT_TECH,
+) -> DatapathCost:
+    """Price a scheduled-and-bound function."""
+    binding = binding or bind_functional_units(schedule, tech)
+    allocation = allocation or allocate_registers(schedule)
+
+    fu_area = binding.total_area_ge(tech)
+    register_area = allocation.total_area_ge(tech)
+
+    mux_area = 0.0
+    worst_mux_ns = 0.0
+    for unit in binding.units:
+        for sources in unit.port_sources:
+            mux_area += tech.mux_area_ge(len(sources), unit.width)
+            worst_mux_ns = max(worst_mux_ns, tech.mux_delay_ns(len(sources), unit.width))
+
+    memory_area = 0.0
+    for array in schedule.cdfg.arrays:
+        assert isinstance(array.type, ArrayType)
+        ports = 1
+        if schedule.resources is not None:
+            ports = schedule.resources.memory_ports or 1
+        memory_area += tech.memory_area_ge(
+            array.type.size, array.type.element.bit_width, ports
+        )
+
+    # Controller: a one-hot FSM — a state register plus next-state logic that
+    # grows with states × transitions (~8 GE per state edge).
+    n_states = schedule.total_steps()
+    controller_area = tech.register_area_ge(max(n_states, 1)) / 4.0 + 8.0 * n_states
+
+    from ..scheduling.base import chained_steps
+
+    worst_path_ns = 0.0
+    for block_schedule in schedule.blocks.values():
+        for op in block_schedule.block.ops:
+            finish = block_schedule.op_finish_ns.get(op.id, 0.0)
+            if schedule.clock_ns > 0:
+                span = chained_steps(op, schedule.clock_ns, tech)
+                if span > 1:
+                    # Multi-cycle operators are pipelined across their span:
+                    # each state sees one clock period of them.
+                    finish = schedule.clock_ns
+            worst_path_ns = max(worst_path_ns, finish)
+    clock = worst_path_ns + worst_mux_ns + tech.register_setup_ns + tech.clock_skew_ns
+    if clock <= 0.0:
+        clock = tech.register_setup_ns + tech.clock_skew_ns
+
+    return DatapathCost(
+        fu_area_ge=fu_area,
+        register_area_ge=register_area,
+        mux_area_ge=mux_area,
+        memory_area_ge=memory_area,
+        controller_area_ge=controller_area,
+        critical_path_ns=worst_path_ns,
+        clock_ns=clock,
+    )
+
+
+def estimate_fsmd_cost(fsmd, tech: Technology = DEFAULT_TECH) -> DatapathCost:
+    """Price an FSMD built directly from states (syntax-directed flows).
+
+    Functional units per resource class = the maximum per-state concurrency;
+    operand muxes are sized from the sharing factor (ops per unit); the
+    clock is the worst per-state chained dataflow path plus mux levels.
+    """
+    import math
+
+    from ..ir.ops import VReg
+    from ..scheduling.resources import FREE, classify, op_delay_ns, op_width, tech_class
+
+    class_total: Dict[str, int] = {}
+    class_peak: Dict[str, int] = {}
+    class_width: Dict[str, int] = {}
+    class_tech: Dict[str, str] = {}
+    worst_path = 0.0
+    for state in fsmd.states:
+        per_state: Dict[str, int] = {}
+        finish: Dict[int, float] = {}
+        path = 0.0
+        for op in state.ops:
+            resource = classify(op)
+            if resource != FREE:
+                per_state[resource] = per_state.get(resource, 0) + 1
+                class_total[resource] = class_total.get(resource, 0) + 1
+                class_width[resource] = max(
+                    class_width.get(resource, 1), op_width(op)
+                )
+                class_tech.setdefault(resource, tech_class(op))
+            ready = 0.0
+            for operand in op.operands:
+                if isinstance(operand, VReg) and operand.id in finish:
+                    ready = max(ready, finish[operand.id])
+            done = ready + op_delay_ns(op, tech)
+            if op.dest is not None:
+                finish[op.dest.id] = done
+            path = max(path, done)
+        for resource, used in per_state.items():
+            class_peak[resource] = max(class_peak.get(resource, 0), used)
+        worst_path = max(worst_path, path)
+
+    fu_area = 0.0
+    mux_area = 0.0
+    worst_mux = 0.0
+    for resource, peak in class_peak.items():
+        width = class_width[resource]
+        pricing = class_tech[resource]
+        fu_area += peak * tech.area_ge(pricing, width)
+        sharing = max(1, math.ceil(class_total[resource] / peak))
+        mux_area += peak * 2 * tech.mux_area_ge(sharing, width)
+        worst_mux = max(worst_mux, tech.mux_delay_ns(sharing, width))
+
+    register_area = sum(
+        tech.register_area_ge(s.type.bit_width) for s in fsmd.registers
+    )
+    memory_area = 0.0
+    for array in fsmd.arrays:
+        assert isinstance(array.type, ArrayType)
+        memory_area += tech.memory_area_ge(
+            array.type.size, array.type.element.bit_width, 1
+        )
+    controller_area = tech.register_area_ge(max(fsmd.n_states, 1)) / 4.0 + (
+        8.0 * fsmd.n_states
+    )
+    clock = worst_path + worst_mux + tech.register_setup_ns + tech.clock_skew_ns
+    if clock <= 0.0:
+        clock = tech.register_setup_ns + tech.clock_skew_ns
+    return DatapathCost(
+        fu_area_ge=fu_area,
+        register_area_ge=register_area,
+        mux_area_ge=mux_area,
+        memory_area_ge=memory_area,
+        controller_area_ge=controller_area,
+        critical_path_ns=worst_path,
+        clock_ns=clock,
+    )

@@ -1,0 +1,122 @@
+"""Functional-unit allocation and binding.
+
+After scheduling, operations that share a resource class and never execute
+in the same control step can share one functional unit.  Because an FSMD is
+in exactly one state at a time, units are shared freely *across* blocks;
+only same-step (and multi-cycle overlapping) operations need distinct
+units.  The binder is a greedy interval assigner with a locality heuristic:
+an operation prefers the unit that already executes operations reading the
+same first operand, which keeps operand multiplexers narrow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.ops import Const, Operand, Operation, VarRead, VReg
+from ..rtl.tech import DEFAULT_TECH, Technology
+from ..scheduling.base import FunctionSchedule, chained_steps
+from ..scheduling.resources import FREE, classify, op_width, tech_class
+
+
+@dataclass
+class FunctionalUnit:
+    """One allocated datapath unit."""
+
+    name: str
+    resource_class: str
+    tech_class: str
+    width: int = 1
+    # Distinct sources seen on each operand port (for mux sizing).
+    port_sources: List[Set[Tuple]] = field(default_factory=list)
+    op_count: int = 0
+
+    def area_ge(self, tech: Technology) -> float:
+        return tech.area_ge(self.tech_class, self.width) if self.tech_class else 0.0
+
+
+def _source_key(operand: Operand) -> Tuple:
+    if isinstance(operand, Const):
+        return ("const", operand.value)
+    if isinstance(operand, VarRead):
+        return ("var", operand.var.unique_name)
+    return ("vreg", operand.id)
+
+
+@dataclass
+class FUBinding:
+    units: List[FunctionalUnit] = field(default_factory=list)
+    op_unit: Dict[int, str] = field(default_factory=dict)
+
+    def unit(self, name: str) -> FunctionalUnit:
+        for unit in self.units:
+            if unit.name == name:
+                return unit
+        raise KeyError(name)
+
+    def units_of_class(self, resource_class: str) -> List[FunctionalUnit]:
+        return [u for u in self.units if u.resource_class == resource_class]
+
+    def total_area_ge(self, tech: Technology = DEFAULT_TECH) -> float:
+        return sum(unit.area_ge(tech) for unit in self.units)
+
+
+def bind_functional_units(
+    schedule: FunctionSchedule, tech: Technology = DEFAULT_TECH
+) -> FUBinding:
+    """Bind every scheduled operation to a functional unit."""
+    binding = FUBinding()
+    counters: Dict[str, int] = {}
+    # unit name -> set of (block_id, step) it is busy in
+    busy: Dict[str, Set[Tuple[int, int]]] = {}
+
+    for block_id, block_schedule in schedule.blocks.items():
+        for op in block_schedule.block.ops:
+            resource = classify(op)
+            if resource == FREE:
+                continue
+            step = block_schedule.op_step[op.id]
+            span = (
+                chained_steps(op, schedule.clock_ns, tech)
+                if schedule.clock_ns > 0
+                else 1
+            )
+            steps_used = {(block_id, step + k) for k in range(span)}
+            candidates = [
+                u for u in binding.units_of_class(resource)
+                if not (busy[u.name] & steps_used)
+            ]
+            chosen: Optional[FunctionalUnit] = None
+            if candidates:
+                # Prefer a unit already fed by our first operand (narrower mux).
+                first_source = _source_key(op.operands[0]) if op.operands else None
+                for unit in candidates:
+                    if (
+                        first_source is not None
+                        and unit.port_sources
+                        and first_source in unit.port_sources[0]
+                    ):
+                        chosen = unit
+                        break
+                if chosen is None:
+                    chosen = candidates[0]
+            else:
+                index = counters.get(resource, 0)
+                counters[resource] = index + 1
+                chosen = FunctionalUnit(
+                    name=f"{resource.replace(':', '_')}{index}",
+                    resource_class=resource,
+                    tech_class=tech_class(op),
+                )
+                binding.units.append(chosen)
+                busy[chosen.name] = set()
+            busy[chosen.name] |= steps_used
+            binding.op_unit[op.id] = chosen.name
+            chosen.width = max(chosen.width, op_width(op))
+            chosen.op_count += 1
+            while len(chosen.port_sources) < len(op.operands):
+                chosen.port_sources.append(set())
+            for port, operand in enumerate(op.operands):
+                chosen.port_sources[port].add(_source_key(operand))
+    return binding

@@ -1,0 +1,133 @@
+"""Register allocation for values that cross control-step boundaries.
+
+Architectural registers (the program's scalar variables) are kept one-to-one
+— they carry values across blocks and their lifetimes are whole-program, so
+sharing them needs global liveness that buys little on kernel-sized designs.
+
+Carrier registers for block-local VRegs, however, are shared with the
+classic **left-edge algorithm**: a VReg whose consumers sit in later control
+steps than its producer is live over an interval of steps; sorting intervals
+by start and packing each into the first free register yields the minimum
+register count for interval graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..lang.symtab import Symbol
+from ..ir.ops import Branch, Operand, Ret, VReg
+from ..rtl.tech import DEFAULT_TECH, Technology
+from ..scheduling.base import BlockSchedule, FunctionSchedule
+
+
+@dataclass
+class Lifetime:
+    vreg: VReg
+    block_id: int
+    start: int  # step whose edge latches the value
+    end: int    # last step that reads it
+
+    @property
+    def width(self) -> int:
+        return self.vreg.type.bit_width
+
+
+@dataclass
+class CarrierRegister:
+    name: str
+    width: int = 1
+    occupants: List[Lifetime] = field(default_factory=list)
+
+
+@dataclass
+class RegisterAllocation:
+    variable_registers: List[Symbol] = field(default_factory=list)
+    carriers: List[CarrierRegister] = field(default_factory=list)
+    vreg_carrier: Dict[int, str] = field(default_factory=dict)
+    lifetimes: List[Lifetime] = field(default_factory=list)
+
+    def total_area_ge(self, tech: Technology = DEFAULT_TECH) -> float:
+        area = sum(
+            tech.register_area_ge(s.type.bit_width) for s in self.variable_registers
+        )
+        area += sum(tech.register_area_ge(c.width) for c in self.carriers)
+        return area
+
+    def register_count(self) -> int:
+        return len(self.variable_registers) + len(self.carriers)
+
+
+def _block_lifetimes(block_schedule: BlockSchedule) -> List[Lifetime]:
+    """Lifetimes of VRegs that cross a step boundary within the block."""
+    block = block_schedule.block
+    def_step: Dict[VReg, int] = {}
+    last_use: Dict[VReg, int] = {}
+    for op in block.ops:
+        step = block_schedule.op_step[op.id]
+        if op.dest is not None:
+            def_step[op.dest] = step
+        for operand in op.operands:
+            if isinstance(operand, VReg):
+                last_use[operand] = max(last_use.get(operand, step), step)
+    final_step = block_schedule.n_steps - 1
+    for value in block.var_writes.values():
+        if isinstance(value, VReg):
+            last_use[value] = max(last_use.get(value, final_step), final_step)
+    terminator = block.terminator
+    terminator_values: List[Operand] = []
+    if isinstance(terminator, Branch):
+        terminator_values.append(terminator.cond)
+    elif isinstance(terminator, Ret) and terminator.value is not None:
+        terminator_values.append(terminator.value)
+    for operand in terminator_values:
+        if isinstance(operand, VReg):
+            last_use[operand] = max(last_use.get(operand, final_step), final_step)
+    lifetimes = []
+    for vreg, start in def_step.items():
+        end = last_use.get(vreg, start)
+        if end > start:
+            lifetimes.append(
+                Lifetime(vreg=vreg, block_id=block.id, start=start, end=end)
+            )
+    return lifetimes
+
+
+def left_edge_pack(lifetimes: List[Lifetime]) -> List[CarrierRegister]:
+    """The left-edge algorithm: minimum carriers for interval lifetimes.
+
+    Lifetimes from different blocks never conflict (one state machine), so
+    packing treats (block, interval) pairs as disjoint tracks."""
+    carriers: List[CarrierRegister] = []
+    ordered = sorted(lifetimes, key=lambda lt: (lt.start, lt.end, lt.vreg.id))
+    # Per carrier, the last occupied end step per block.
+    last_end: Dict[Tuple[str, int], int] = {}
+    for lifetime in ordered:
+        placed: Optional[CarrierRegister] = None
+        for carrier in carriers:
+            key = (carrier.name, lifetime.block_id)
+            if last_end.get(key, -1) < lifetime.start:
+                placed = carrier
+                break
+        if placed is None:
+            placed = CarrierRegister(name=f"carry{len(carriers)}")
+            carriers.append(placed)
+        placed.occupants.append(lifetime)
+        placed.width = max(placed.width, lifetime.width)
+        last_end[(placed.name, lifetime.block_id)] = lifetime.end
+    return carriers
+
+
+def allocate_registers(schedule: FunctionSchedule) -> RegisterAllocation:
+    """Allocate architectural + carrier registers for a schedule."""
+    allocation = RegisterAllocation(
+        variable_registers=list(schedule.cdfg.registers)
+    )
+    for block_schedule in schedule.blocks.values():
+        allocation.lifetimes.extend(_block_lifetimes(block_schedule))
+    allocation.carriers = left_edge_pack(allocation.lifetimes)
+    for carrier in allocation.carriers:
+        for lifetime in carrier.occupants:
+            allocation.vreg_carrier[lifetime.vreg.id] = carrier.name
+    return allocation

@@ -1,0 +1,55 @@
+"""Synthesis flows — one per language the paper surveys.
+
+========  ====================================  =============  ==========
+key       language                              concurrency    timing
+========  ====================================  =============  ==========
+cones     Cones (1988)                          compiler       none (combinational)
+hardwarec HardwareC (1990)                      explicit       in-language constraints
+transmogrifier Transmogrifier C (1995)          compiler       1 cycle/iteration+call
+systemc   SystemC (2002)                        explicit       wait() boundaries
+ocapi     Ocapi (1998)                          structural     designer-placed states
+c2verilog C2Verilog (1998)                      compiler       compiler rules
+cyber     Cyber/BDL (1999)                      explicit       implicit or explicit
+handelc   Handel-C (2003)                       explicit       1 cycle/assignment
+specc     SpecC (2000)                          explicit       refinement
+bachc     Bach C (2001)                         explicit       untimed (scheduled)
+cash      CASH (2002)                           compiler       asynchronous
+========  ====================================  =============  ==========
+"""
+
+from .base import (
+    CompiledDesign,
+    DesignCost,
+    Flow,
+    FlowError,
+    FlowMetadata,
+    FlowResult,
+    UnsupportedFeature,
+)
+from .ocapi import OcapiModule, OcapiState
+from .registry import (
+    COMPILABLE,
+    REGISTRY,
+    compile_flow,
+    get_flow,
+    run_flow,
+    table1_rows,
+)
+
+__all__ = [
+    "COMPILABLE",
+    "CompiledDesign",
+    "DesignCost",
+    "Flow",
+    "FlowError",
+    "FlowMetadata",
+    "FlowResult",
+    "OcapiModule",
+    "OcapiState",
+    "REGISTRY",
+    "UnsupportedFeature",
+    "compile_flow",
+    "get_flow",
+    "run_flow",
+    "table1_rows",
+]

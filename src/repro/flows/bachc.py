@@ -1,0 +1,61 @@
+"""Bach C (Sharp, 2001).
+
+Table 1: *"Untimed semantics (Sharp)."*  Explicit concurrency (``par``) and
+rendezvous communication, arrays but **no pointers**, and — the defining
+trait — untimed semantics: *"The compiler does the scheduling; the number
+of cycles taken by each construct is not set by a rule."*  The flow
+therefore hands the whole program to the list scheduler with generous
+resources and lets it pick the cycles.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as ast
+from ..lang.semantic import FEATURE_POINTERS, FEATURE_RECURSION, SemanticInfo
+from ..rtl.tech import DEFAULT_TECH, Technology
+from ..scheduling.resources import ResourceSet
+from .base import CompiledDesign, Flow, FlowMetadata, roots_of
+from .scheduled import synthesize_fsmd_system
+
+
+class BachCFlow(Flow):
+    metadata = FlowMetadata(
+        key="bachc",
+        title="Bach C",
+        year=2001,
+        note="Untimed semantics (Sharp)",
+        concurrency="explicit",
+        concurrency_detail="explicit par statements and rendezvous channels",
+        timing="untimed",
+        timing_detail="compiler schedules freely; no per-construct cycle rule",
+        artifact="fsmd",
+        reference="Kambe et al., ASP-DAC 2001",
+    )
+
+    def compile(
+        self,
+        program: ast.Program,
+        info: SemanticInfo,
+        function: str = "main",
+        resources: ResourceSet = None,
+        clock_ns: float = 5.0,
+        tech: Technology = DEFAULT_TECH,
+        **options,
+    ) -> CompiledDesign:
+        self.check_features(
+            info,
+            roots_of(program, function),
+            {
+                FEATURE_POINTERS: "Bach C supports arrays but not pointers",
+                FEATURE_RECURSION: "Bach C forbids recursion",
+            },
+        )
+        return synthesize_fsmd_system(
+            program, info, function,
+            flow_key=self.metadata.key,
+            resources=resources or ResourceSet.unlimited(),
+            clock_ns=clock_ns,
+            tech=tech,
+            scheduler="list",
+            enforce_constraints=True,
+        )

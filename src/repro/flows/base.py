@@ -1,0 +1,166 @@
+"""Flow framework: the common interface every surveyed language implements.
+
+A *flow* packages one historical tool's semantics: which language features
+it accepts (Table 1's restrictions), how it finds concurrency, and where it
+puts clock-cycle boundaries.  All flows share the same frontend and IR, so
+their outputs differ only by those semantics — which is what makes the
+paper's comparisons measurable.
+
+Usage::
+
+    from repro.flows import compile_flow, run_flow, REGISTRY
+    design = compile_flow(source, flow="handelc")
+    result = design.run(args=(3, 4))
+    print(result.value, result.cycles, result.time_ns)
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..lang import ast_nodes as ast
+from ..lang import parse as parse_source
+from ..lang.semantic import SemanticInfo
+from ..rtl.tech import DEFAULT_TECH, Technology
+
+
+class FlowError(Exception):
+    """A program is outside what this flow can synthesize."""
+
+    def __init__(self, flow: str, message: str):
+        super().__init__(f"[{flow}] {message}")
+        self.flow = flow
+
+
+class UnsupportedFeature(FlowError):
+    """The historical tool this flow models did not support the feature."""
+
+
+@dataclass(frozen=True)
+class FlowMetadata:
+    """One row of Table 1, plus the axes the paper's analysis uses."""
+
+    key: str
+    title: str
+    year: int
+    note: str                 # Table 1's one-line characterization
+    concurrency: str          # 'explicit' | 'compiler' | 'structural'
+    concurrency_detail: str
+    timing: str               # how cycles are placed
+    timing_detail: str
+    artifact: str             # 'fsmd' | 'combinational' | 'dataflow' | 'api'
+    reference: str = ""
+
+
+@dataclass
+class FlowResult:
+    """What running a compiled design produced."""
+
+    value: Optional[int]
+    cycles: int
+    time_ns: float
+    globals: Dict[str, object] = field(default_factory=dict)
+    channel_log: Dict[str, List[int]] = field(default_factory=dict)
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def observable(self) -> Tuple:
+        return (
+            self.value,
+            tuple(sorted(
+                (k, tuple(v) if isinstance(v, list) else v)
+                for k, v in self.globals.items()
+            )),
+            tuple(sorted((k, tuple(v)) for k, v in self.channel_log.items())),
+        )
+
+
+@dataclass
+class DesignCost:
+    """Area/clock summary comparable across artifact kinds."""
+
+    area_ge: float = 0.0
+    clock_ns: float = 0.0       # 0 for unclocked artifacts
+    critical_path_ns: float = 0.0
+    states: int = 0
+    registers: int = 0
+    functional_units: int = 0
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def fmax_mhz(self) -> float:
+        return 1000.0 / self.clock_ns if self.clock_ns > 0 else 0.0
+
+
+class CompiledDesign(abc.ABC):
+    """A synthesized artifact that can be simulated and priced."""
+
+    def __init__(self, flow_key: str, name: str):
+        self.flow_key = flow_key
+        self.name = name
+
+    @property
+    @abc.abstractmethod
+    def artifact_kind(self) -> str:
+        """'fsmd-system' | 'combinational' | 'dataflow'."""
+
+    @abc.abstractmethod
+    def run(
+        self,
+        args: Sequence[int] = (),
+        process_args: Optional[Dict[str, Sequence[int]]] = None,
+        max_cycles: int = 2_000_000,
+    ) -> FlowResult:
+        """Simulate the hardware on concrete inputs."""
+
+    @abc.abstractmethod
+    def cost(self, tech: Technology = DEFAULT_TECH) -> DesignCost:
+        """Estimate area and timing."""
+
+    def verilog(self) -> str:
+        """Verilog text for the artifact (flows override where supported)."""
+        raise NotImplementedError(
+            f"{self.flow_key} does not emit Verilog for this artifact"
+        )
+
+
+class Flow(abc.ABC):
+    """One surveyed language/compiler."""
+
+    metadata: FlowMetadata
+
+    @abc.abstractmethod
+    def compile(
+        self,
+        program: ast.Program,
+        info: SemanticInfo,
+        function: str = "main",
+        **options,
+    ) -> CompiledDesign:
+        """Synthesize ``function`` (plus any ``process`` functions)."""
+
+    def compile_source(
+        self, source: str, function: str = "main", **options
+    ) -> CompiledDesign:
+        program, info = parse_source(source)
+        return self.compile(program, info, function, **options)
+
+    def check_features(
+        self, info: SemanticInfo, roots: List[str], forbidden: Dict[str, str]
+    ) -> None:
+        """Reject programs using features the historical tool lacked.
+        ``forbidden`` maps feature name -> human explanation."""
+        used = set()
+        for root in roots:
+            used |= info.features_of(root)
+        for feature, reason in forbidden.items():
+            if feature in used:
+                raise UnsupportedFeature(self.metadata.key, reason)
+
+
+def roots_of(program: ast.Program, function: str) -> List[str]:
+    """The entry function plus every ``process`` (they run concurrently)."""
+    roots = [function]
+    roots += [p.name for p in program.processes if p.name != function]
+    return roots

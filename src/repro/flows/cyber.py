@@ -1,0 +1,60 @@
+"""Cyber (Wakabayashi, NEC, 1999).
+
+Table 1: *"Restricted C with extensions (NEC)."*  Cyber accepts BDL, a C
+variant with hardware extensions that *"prohibits recursive functions and
+pointers.  Timing can be implicit or explicit."*  The flow enforces exactly
+those restrictions: explicit timing through ``wait``/``delay`` is accepted
+alongside compiler-scheduled implicit timing.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as ast
+from ..lang.semantic import FEATURE_POINTERS, FEATURE_RECURSION, SemanticInfo
+from ..rtl.tech import DEFAULT_TECH, Technology
+from ..scheduling.resources import ResourceSet
+from .base import CompiledDesign, Flow, FlowMetadata, roots_of
+from .scheduled import synthesize_fsmd_system
+
+
+class CyberFlow(Flow):
+    metadata = FlowMetadata(
+        key="cyber",
+        title="Cyber (BDL)",
+        year=1999,
+        note="Restricted C with extensions (NEC)",
+        concurrency="explicit",
+        concurrency_detail="BDL processes and hardware extensions",
+        timing="mixed",
+        timing_detail="implicit (scheduled) or explicit (wait/delay) timing",
+        artifact="fsmd",
+        reference="Wakabayashi, DATE 1999",
+    )
+
+    def compile(
+        self,
+        program: ast.Program,
+        info: SemanticInfo,
+        function: str = "main",
+        resources: ResourceSet = None,
+        clock_ns: float = 5.0,
+        tech: Technology = DEFAULT_TECH,
+        **options,
+    ) -> CompiledDesign:
+        self.check_features(
+            info,
+            roots_of(program, function),
+            {
+                FEATURE_POINTERS: "BDL prohibits pointers",
+                FEATURE_RECURSION: "BDL prohibits recursive functions",
+            },
+        )
+        return synthesize_fsmd_system(
+            program, info, function,
+            flow_key=self.metadata.key,
+            resources=resources or ResourceSet.typical(),
+            clock_ns=clock_ns,
+            tech=tech,
+            scheduler="list",
+            enforce_constraints=True,
+        )

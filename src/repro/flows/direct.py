@@ -1,0 +1,69 @@
+"""Design wrapper for FSMDs built directly (without a scheduler):
+the syntax-directed Handel-C flow and the structural Ocapi API."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..rtl.fsmd import FSMDSystem
+from ..rtl.tech import DEFAULT_TECH, Technology
+from ..sim import simulate
+from .base import CompiledDesign, DesignCost, FlowResult
+
+
+class DirectDesign(CompiledDesign):
+    """An FSMD system whose states were authored directly."""
+
+    def __init__(
+        self,
+        flow_key: str,
+        name: str,
+        system: FSMDSystem,
+        tech: Technology = DEFAULT_TECH,
+        stats: Optional[Dict[str, object]] = None,
+    ):
+        super().__init__(flow_key, name)
+        self.system = system
+        self.tech = tech
+        self.stats: Dict[str, object] = stats or {}
+
+    @property
+    def artifact_kind(self) -> str:
+        return "fsmd-system"
+
+    def run(
+        self,
+        args: Sequence[int] = (),
+        process_args: Optional[Dict[str, Sequence[int]]] = None,
+        max_cycles: int = 2_000_000,
+    ) -> FlowResult:
+        sim = simulate(
+            self.system, args=args, process_args=process_args, max_cycles=max_cycles
+        )
+        cost = self.cost(self.tech)
+        return FlowResult(
+            value=sim.value,
+            cycles=sim.cycles,
+            time_ns=sim.cycles * cost.clock_ns,
+            globals=sim.globals,
+            channel_log=sim.channel_log,
+            stats={"stall_cycles": sim.stall_cycles, **self.stats},
+        )
+
+    def cost(self, tech: Technology = DEFAULT_TECH) -> DesignCost:
+        from ..binding.datapath_cost import estimate_fsmd_cost
+
+        costs = [estimate_fsmd_cost(f, tech) for f in self.system.fsmds]
+        return DesignCost(
+            area_ge=sum(c.total_area_ge for c in costs),
+            clock_ns=max(c.clock_ns for c in costs),
+            critical_path_ns=max(c.critical_path_ns for c in costs),
+            states=sum(f.n_states for f in self.system.fsmds),
+            registers=sum(len(f.registers) for f in self.system.fsmds),
+            functional_units=0,
+        )
+
+    def verilog(self) -> str:
+        from ..rtl.verilog import emit_fsmd_system
+
+        return emit_fsmd_system(self.system)

@@ -1,0 +1,63 @@
+"""HardwareC (Ku & De Micheli, Stanford Olympus, 1990).
+
+Table 1: *"Behavioral synthesis-centric."*  The flow models HardwareC's two
+signatures: explicit process-level concurrency, and in-language timing
+constraints — *"these three statements must execute in two cycles"* — which
+our ``within (n) { ... }`` blocks express and the constraint-driven list
+scheduler enforces (raising
+:class:`~repro.scheduling.base.ConstraintInfeasible` when the designer asks
+the impossible, the "challenging for the compiler" half of the paper's
+sentence).
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as ast
+from ..lang.semantic import FEATURE_POINTERS, FEATURE_RECURSION, SemanticInfo
+from ..rtl.tech import DEFAULT_TECH, Technology
+from ..scheduling.resources import ResourceSet
+from .base import CompiledDesign, Flow, FlowMetadata, roots_of
+from .scheduled import synthesize_fsmd_system
+
+
+class HardwareCFlow(Flow):
+    metadata = FlowMetadata(
+        key="hardwarec",
+        title="HardwareC",
+        year=1990,
+        note="Behavioral synthesis-centric",
+        concurrency="explicit",
+        concurrency_detail="process-level constructs; compiler ILP inside blocks",
+        timing="constraints",
+        timing_detail="in-language timing constraints solved by the scheduler",
+        artifact="fsmd",
+        reference="Ku & De Micheli, CSTL-TR-90-419",
+    )
+
+    def compile(
+        self,
+        program: ast.Program,
+        info: SemanticInfo,
+        function: str = "main",
+        resources: ResourceSet = None,
+        clock_ns: float = 5.0,
+        tech: Technology = DEFAULT_TECH,
+        **options,
+    ) -> CompiledDesign:
+        self.check_features(
+            info,
+            roots_of(program, function),
+            {
+                FEATURE_POINTERS: "HardwareC has no pointers",
+                FEATURE_RECURSION: "HardwareC forbids recursion",
+            },
+        )
+        return synthesize_fsmd_system(
+            program, info, function,
+            flow_key=self.metadata.key,
+            resources=resources or ResourceSet.typical(),
+            clock_ns=clock_ns,
+            tech=tech,
+            scheduler="list",
+            enforce_constraints=True,
+        )

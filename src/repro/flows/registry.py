@@ -1,0 +1,90 @@
+"""The flow registry — the executable version of the paper's Table 1.
+
+Every row of Table 1 ("C-like languages/compilers, chronological order")
+maps to an implemented flow; :func:`table1_rows` regenerates the table from
+the registry, which is what ``benchmarks/bench_table1.py`` prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..lang import parse as parse_source
+from .base import CompiledDesign, Flow, FlowError, FlowMetadata, FlowResult
+from .bachc import BachCFlow
+from .c2verilog import C2VerilogFlow
+from .cash import CashFlow
+from .cones import ConesFlow
+from .cyber import CyberFlow
+from .handelc import HandelCFlow
+from .hardwarec import HardwareCFlow
+from .ocapi import OcapiFlow
+from .specc import SpecCFlow
+from .systemc import SystemCFlow
+from .transmogrifier import TransmogrifierFlow
+
+# Chronological, exactly as in Table 1 of the paper.
+_FLOW_CLASSES = [
+    ConesFlow,          # 1988
+    HardwareCFlow,      # 1990
+    TransmogrifierFlow, # 1995
+    SystemCFlow,        # (1999 lib, 2002 book) — Table 1 position
+    OcapiFlow,          # 1998
+    C2VerilogFlow,      # 1998
+    CyberFlow,          # 1999
+    HandelCFlow,        # 1998/2003
+    SpecCFlow,          # 2000
+    BachCFlow,          # 2001
+    CashFlow,           # 2002
+]
+
+REGISTRY: Dict[str, Flow] = {cls.metadata.key: cls() for cls in _FLOW_CLASSES}
+
+# Flows that accept C-like source through compile() (Ocapi is structural).
+COMPILABLE = [key for key, flow in REGISTRY.items() if key != "ocapi"]
+
+
+def get_flow(key: str) -> Flow:
+    if key not in REGISTRY:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown flow {key!r}; known flows: {known}")
+    return REGISTRY[key]
+
+
+def compile_flow(
+    source: str, flow: str = "c2verilog", function: str = "main", **options
+) -> CompiledDesign:
+    """Parse and synthesize ``source`` with the named flow."""
+    return get_flow(flow).compile_source(source, function=function, **options)
+
+
+def run_flow(
+    source: str,
+    args: Sequence[int] = (),
+    flow: str = "c2verilog",
+    function: str = "main",
+    process_args=None,
+    max_cycles: int = 2_000_000,
+    **options,
+) -> FlowResult:
+    """Compile and simulate in one call."""
+    design = compile_flow(source, flow=flow, function=function, **options)
+    return design.run(args=args, process_args=process_args, max_cycles=max_cycles)
+
+
+def table1_rows() -> List[Dict[str, str]]:
+    """Table 1, regenerated from the implemented registry."""
+    rows = []
+    for cls in _FLOW_CLASSES:
+        meta: FlowMetadata = cls.metadata
+        rows.append(
+            {
+                "language": meta.title,
+                "year": str(meta.year),
+                "note": meta.note,
+                "concurrency": meta.concurrency,
+                "timing": meta.timing,
+                "artifact": meta.artifact,
+            }
+        )
+    return rows

@@ -1,0 +1,79 @@
+"""SpecC (Gajski et al., UC Irvine, 2000).
+
+Table 1: *"Resolutely refinement-based."*  SpecC adds FSM, concurrency,
+pipelining, and structure constructs through thirty-three keywords, and
+*"systems written in the complete language must be refined into the
+synthesizable subset."*
+
+The flow models the refinement ladder with a ``refine`` option:
+
+* ``"specification"`` — implicit clock boundaries: unconstrained scheduling
+  (unlimited resources), the early exploratory model;
+* ``"implementation"`` — boundaries made concrete under real resource
+  limits, the refined synthesizable model.
+
+Compiling the same program at both levels shows the cycle/area movement the
+refinement methodology trades in.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as ast
+from ..lang.semantic import FEATURE_RECURSION, SemanticInfo
+from ..rtl.tech import DEFAULT_TECH, Technology
+from ..scheduling.resources import ResourceSet
+from .base import CompiledDesign, Flow, FlowError, FlowMetadata, roots_of
+from .scheduled import synthesize_fsmd_system
+
+
+class SpecCFlow(Flow):
+    metadata = FlowMetadata(
+        key="specc",
+        title="SpecC",
+        year=2000,
+        note="Resolutely refinement-based",
+        concurrency="explicit",
+        concurrency_detail="par/pipe/FSM constructs (33 added keywords)",
+        timing="refinement",
+        timing_detail="implicit boundaries made concrete during refinement",
+        artifact="fsmd",
+        reference="Gajski et al., Kluwer 2000",
+    )
+
+    def compile(
+        self,
+        program: ast.Program,
+        info: SemanticInfo,
+        function: str = "main",
+        refine: str = "implementation",
+        resources: ResourceSet = None,
+        clock_ns: float = 5.0,
+        tech: Technology = DEFAULT_TECH,
+        **options,
+    ) -> CompiledDesign:
+        self.check_features(
+            info,
+            roots_of(program, function),
+            {FEATURE_RECURSION: "the SpecC synthesizable subset forbids recursion"},
+        )
+        if refine == "specification":
+            chosen = ResourceSet.unlimited()
+        elif refine == "implementation":
+            chosen = resources or ResourceSet.typical()
+        else:
+            raise FlowError(
+                self.metadata.key,
+                f"unknown refinement level {refine!r}"
+                " (use 'specification' or 'implementation')",
+            )
+        design = synthesize_fsmd_system(
+            program, info, function,
+            flow_key=self.metadata.key,
+            resources=chosen,
+            clock_ns=clock_ns,
+            tech=tech,
+            scheduler="list",
+            enforce_constraints=True,
+        )
+        design.stats["refine"] = refine
+        return design

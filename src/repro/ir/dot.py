@@ -1,0 +1,94 @@
+"""Graphviz (DOT) export for CDFGs and FSMDs — the debugging view.
+
+Usage::
+
+    from repro.ir.dot import cdfg_to_dot, fsmd_to_dot
+    print(cdfg_to_dot(cdfg))      # pipe into `dot -Tsvg`
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang.symtab import Symbol
+from .cdfg import FunctionCDFG
+from .ops import Branch, Jump, Ret
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cdfg_to_dot(cdfg: FunctionCDFG) -> str:
+    """The CDFG as a DOT digraph: one record node per basic block (its
+    operations and latches), edges for control flow (branch edges labelled
+    T/F)."""
+    lines: List[str] = [
+        f'digraph "{_escape(cdfg.name)}" {{',
+        "  node [shape=box, fontname=monospace, fontsize=9];",
+        "  rankdir=TB;",
+    ]
+    for block in cdfg.reachable_blocks():
+        body = [f"{block.label}:"]
+        body += [f"  {op}" for op in block.ops]
+        for var, value in sorted(
+            block.var_writes.items(), key=lambda kv: kv[0].unique_name
+        ):
+            body.append(f"  {var.unique_name} <- {value}")
+        terminator = block.terminator
+        if isinstance(terminator, Ret):
+            body.append(f"  {terminator}")
+        label = _escape("\\l".join(body)) + "\\l"
+        lines.append(f'  b{block.id} [label="{label}"];')
+    for block in cdfg.reachable_blocks():
+        terminator = block.terminator
+        if isinstance(terminator, Jump):
+            lines.append(f"  b{block.id} -> b{terminator.target.id};")
+        elif isinstance(terminator, Branch):
+            lines.append(
+                f'  b{block.id} -> b{terminator.if_true.id} [label="T"];'
+            )
+            lines.append(
+                f'  b{block.id} -> b{terminator.if_false.id} [label="F"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def fsmd_to_dot(fsmd) -> str:
+    """An FSMD's state graph as a DOT digraph (states and transitions;
+    nested decision trees flatten into labelled edges)."""
+    from ..rtl.fsmd import CondNext, Done, NextState
+
+    lines: List[str] = [
+        f'digraph "{_escape(fsmd.name)}" {{',
+        "  node [shape=circle, fontname=monospace, fontsize=9];",
+    ]
+    edges: List[str] = []
+
+    def walk(source: int, transition, path: str) -> None:
+        if isinstance(transition, int):
+            label = _escape(path) if path else ""
+            edges.append(f'  s{source} -> s{transition} [label="{label}"];')
+        elif isinstance(transition, NextState):
+            walk(source, transition.target, path)
+        elif isinstance(transition, Done):
+            lines.append(
+                f'  s{source}_done [shape=doublecircle, label="done"];'
+            )
+            edges.append(
+                f'  s{source} -> s{source}_done [label="{_escape(path)}"];'
+            )
+        elif isinstance(transition, CondNext):
+            cond = str(transition.cond)
+            prefix = f"{path} & " if path else ""
+            walk(source, transition.if_true, f"{prefix}{cond}")
+            walk(source, transition.if_false, f"{prefix}!{cond}")
+
+    for state in fsmd.states:
+        lines.append(f'  s{state.id} [label="S{state.id}\\n{_escape(state.label)}"];')
+        if state.transition is not None:
+            walk(state.id, state.transition, "")
+    lines.extend(edges)
+    lines.append("}")
+    return "\n".join(lines)

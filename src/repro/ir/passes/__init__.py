@@ -1,0 +1,40 @@
+"""Transformation passes.
+
+AST-level passes (run before CDFG construction):
+
+* :mod:`.inline` — exhaustive function inlining (bounded recursion);
+* :mod:`.unroll` — loop unrolling, full or by a factor;
+* :mod:`.recode` — the source-level rewrites ("recoding") the paper says
+  implicit timing rules force on designers.
+
+CDFG-level passes (run on the built graph):
+
+* :mod:`.constfold` — constant folding and algebraic identities;
+* :mod:`.cse` — common-subexpression elimination within blocks;
+* :mod:`.dce` — dead-code elimination;
+* :mod:`.simplify` — CFG cleanup (jump threading, empty-block removal).
+"""
+
+from .inline import inline_program, InlineStats
+from .unroll import unroll_loops, try_full_unroll
+from .constfold import fold_constants
+from .cse import eliminate_common_subexpressions
+from .dce import eliminate_dead_code
+from .narrow import NarrowReport, narrow_widths
+from .simplify import simplify_cfg
+from .pipeline import optimize, OptimizationReport
+
+__all__ = [
+    "InlineStats",
+    "NarrowReport",
+    "narrow_widths",
+    "OptimizationReport",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "fold_constants",
+    "inline_program",
+    "optimize",
+    "simplify_cfg",
+    "try_full_unroll",
+    "unroll_loops",
+]

@@ -1,0 +1,136 @@
+"""Constant folding and algebraic simplification on the CDFG.
+
+Folds pure operations whose operands are all constants (using the shared
+machine arithmetic, so folding can never disagree with simulation), applies
+the usual algebraic identities, and converts branches on constants into
+jumps so that :mod:`.simplify` can prune the dead arm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...interp.machine import eval_binary, eval_unary, wrap
+from ...lang.errors import InterpError
+from ..cdfg import BasicBlock, FunctionCDFG
+from ..ops import Branch, Const, Jump, Operand, Operation, OpKind, Ret, VReg
+
+
+def _subst(operand: Operand, replacements: Dict[VReg, Operand]) -> Operand:
+    if isinstance(operand, VReg) and operand in replacements:
+        return replacements[operand]
+    return operand
+
+
+def _algebraic(op: Operation) -> Optional[Operand]:
+    """Identity simplifications returning a replacement operand, if any."""
+    if op.kind is not OpKind.BINARY or len(op.operands) != 2:
+        return None
+    a, b = op.operands
+    a_const = a.value if isinstance(a, Const) else None
+    b_const = b.value if isinstance(b, Const) else None
+    result_type = op.dest.type if op.dest is not None else None
+    if result_type is None:
+        return None
+
+    def same_type(x: Operand) -> bool:
+        return x.type == result_type
+
+    if op.op == "+":
+        if a_const == 0 and same_type(b):
+            return b
+        if b_const == 0 and same_type(a):
+            return a
+    elif op.op == "-":
+        if b_const == 0 and same_type(a):
+            return a
+    elif op.op == "*":
+        if a_const == 1 and same_type(b):
+            return b
+        if b_const == 1 and same_type(a):
+            return a
+        if a_const == 0 or b_const == 0:
+            return Const(0, result_type)
+    elif op.op in ("&",):
+        if a_const == 0 or b_const == 0:
+            return Const(0, result_type)
+    elif op.op in ("|", "^"):
+        if a_const == 0 and same_type(b):
+            return b
+        if b_const == 0 and same_type(a):
+            return a
+    elif op.op in ("<<", ">>"):
+        if b_const == 0 and same_type(a):
+            return a
+    return None
+
+
+def _fold_block(block: BasicBlock) -> int:
+    folded = 0
+    replacements: Dict[VReg, Operand] = {}
+    kept = []
+    for op in block.ops:
+        op.operands = [_subst(o, replacements) for o in op.operands]
+        if op.dest is None:
+            kept.append(op)
+            continue
+        constants = [o.value for o in op.operands if isinstance(o, Const)]
+        all_const = len(constants) == len(op.operands) and op.operands
+        try:
+            if op.kind is OpKind.BINARY and all_const:
+                value = eval_binary(op.op, constants[0], constants[1], op.dest.type)
+                replacements[op.dest] = Const(value, op.dest.type)
+                folded += 1
+                continue
+            if op.kind is OpKind.UNARY and all_const:
+                value = eval_unary(op.op, constants[0], op.dest.type)
+                replacements[op.dest] = Const(value, op.dest.type)
+                folded += 1
+                continue
+            if op.kind is OpKind.CAST and all_const:
+                replacements[op.dest] = Const(
+                    wrap(constants[0], op.dest.type), op.dest.type
+                )
+                folded += 1
+                continue
+            if op.kind is OpKind.SELECT and isinstance(op.operands[0], Const):
+                chosen = op.operands[1] if op.operands[0].value else op.operands[2]
+                if chosen.type == op.dest.type:
+                    replacements[op.dest] = chosen
+                    folded += 1
+                    continue
+                rewritten = Operation(
+                    kind=OpKind.CAST, dest=op.dest, operands=[chosen],
+                    constraint=op.constraint,
+                )
+                kept.append(rewritten)
+                continue
+        except InterpError:
+            # Folding would trap (e.g. division by zero); leave it for runtime.
+            kept.append(op)
+            continue
+        simplified = _algebraic(op)
+        if simplified is not None:
+            replacements[op.dest] = simplified
+            folded += 1
+            continue
+        kept.append(op)
+    block.ops = kept
+    block.var_writes = {
+        var: _subst(value, replacements) for var, value in block.var_writes.items()
+    }
+    terminator = block.terminator
+    if isinstance(terminator, Branch):
+        terminator.cond = _subst(terminator.cond, replacements)
+        if isinstance(terminator.cond, Const):
+            target = terminator.if_true if terminator.cond.value else terminator.if_false
+            block.terminator = Jump(target)
+            folded += 1
+    elif isinstance(terminator, Ret) and terminator.value is not None:
+        terminator.value = _subst(terminator.value, replacements)
+    return folded
+
+
+def fold_constants(cdfg: FunctionCDFG) -> int:
+    """Fold constants throughout; returns the number of simplifications."""
+    return sum(_fold_block(block) for block in cdfg.blocks)

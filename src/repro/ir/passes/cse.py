@@ -1,0 +1,86 @@
+"""Common-subexpression elimination within basic blocks.
+
+Pure operations (arithmetic, casts, selects) with identical operands are
+merged.  Loads participate too, versioned by the store/fence history of
+their memory: two loads from the same address with no intervening store to
+that memory (or fence) collapse into one — the basic memory-reuse
+optimization an HLS compiler needs for array-heavy kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..cdfg import BasicBlock, FunctionCDFG
+from ..ops import Branch, Const, Operand, Operation, OpKind, Ret, VReg, VarRead
+
+
+def _operand_key(operand: Operand) -> Tuple:
+    if isinstance(operand, Const):
+        return ("const", operand.value, str(operand.type))
+    if isinstance(operand, VarRead):
+        return ("var", operand.var.unique_name)
+    return ("vreg", operand.id)
+
+
+def _cse_block(block: BasicBlock) -> int:
+    eliminated = 0
+    table: Dict[Tuple, VReg] = {}
+    replacements: Dict[VReg, VReg] = {}
+    memory_version: Dict[str, int] = {}
+    kept = []
+
+    def version_of(array) -> int:
+        return memory_version.get(array.unique_name, 0)
+
+    for op in block.ops:
+        op.operands = [
+            replacements.get(o, o) if isinstance(o, VReg) else o for o in op.operands
+        ]
+        key: Optional[Tuple] = None
+        if op.kind in (OpKind.BINARY, OpKind.UNARY, OpKind.CAST, OpKind.SELECT):
+            key = (
+                op.kind.value, op.op,
+                str(op.dest.type) if op.dest is not None else "",
+                tuple(_operand_key(o) for o in op.operands),
+            )
+        elif op.kind is OpKind.LOAD and op.array is not None:
+            key = (
+                "load", op.array.unique_name, version_of(op.array),
+                str(op.dest.type) if op.dest is not None else "",
+                tuple(_operand_key(o) for o in op.operands),
+            )
+        if key is not None and op.dest is not None:
+            existing = table.get(key)
+            if existing is not None and existing.type == op.dest.type:
+                replacements[op.dest] = existing
+                eliminated += 1
+                continue
+            table[key] = op.dest
+        if op.kind is OpKind.STORE and op.array is not None:
+            memory_version[op.array.unique_name] = version_of(op.array) + 1
+        elif op.is_fence():
+            for name in list(memory_version):
+                memory_version[name] += 1
+            # Fences also invalidate every memoized load (conservative).
+            table = {
+                k: v for k, v in table.items() if k and k[0] != "load"
+            }
+        kept.append(op)
+
+    block.ops = kept
+    block.var_writes = {
+        var: replacements.get(value, value) if isinstance(value, VReg) else value
+        for var, value in block.var_writes.items()
+    }
+    terminator = block.terminator
+    if isinstance(terminator, Branch) and isinstance(terminator.cond, VReg):
+        terminator.cond = replacements.get(terminator.cond, terminator.cond)
+    elif isinstance(terminator, Ret) and isinstance(terminator.value, VReg):
+        terminator.value = replacements.get(terminator.value, terminator.value)
+    return eliminated
+
+
+def eliminate_common_subexpressions(cdfg: FunctionCDFG) -> int:
+    """Run block-local CSE; returns the number of operations removed."""
+    return sum(_cse_block(block) for block in cdfg.blocks)

@@ -1,0 +1,110 @@
+"""Dead-code elimination.
+
+Two levels:
+
+* **operation level** — a pure operation whose result feeds nothing
+  (transitively) is deleted;
+* **register level** — a scalar variable that is never read anywhere in the
+  function, is not a global, and is not the return value, has its latches
+  deleted, which in turn exposes more dead operations.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ...lang.symtab import Symbol, SymbolKind
+from ..cdfg import BasicBlock, FunctionCDFG
+from ..ops import Branch, Operand, OpKind, Ret, VReg, VarRead
+
+
+def _live_vregs(block: BasicBlock) -> Set[VReg]:
+    """VRegs needed by side effects, latches, and the terminator."""
+    live: Set[VReg] = set()
+
+    def note(operand: Operand) -> None:
+        if isinstance(operand, VReg):
+            live.add(operand)
+
+    # Roots: latches and the terminator.
+    for value in block.var_writes.values():
+        note(value)
+    terminator = block.terminator
+    if isinstance(terminator, Branch):
+        note(terminator.cond)
+    elif isinstance(terminator, Ret) and terminator.value is not None:
+        note(terminator.value)
+    # Definitions precede uses within a block, so one reverse sweep closes
+    # the transitive liveness set.
+    for op in reversed(block.ops):
+        if op.has_side_effect() or (op.dest is not None and op.dest in live):
+            for operand in op.operands:
+                note(operand)
+    return live
+
+
+def _sweep_block(block: BasicBlock) -> int:
+    live = _live_vregs(block)
+    before = len(block.ops)
+    block.ops = [
+        op
+        for op in block.ops
+        if op.has_side_effect() or (op.dest is not None and op.dest in live)
+    ]
+    return before - len(block.ops)
+
+
+def _read_vars(cdfg: FunctionCDFG) -> Set[Symbol]:
+    read: Set[Symbol] = set()
+    for block in cdfg.blocks:
+        for op in block.ops:
+            for operand in op.operands:
+                if isinstance(operand, VarRead):
+                    read.add(operand.var)
+        terminator = block.terminator
+        operands = []
+        if isinstance(terminator, Branch):
+            operands = [terminator.cond]
+        elif isinstance(terminator, Ret) and terminator.value is not None:
+            operands = [terminator.value]
+        for operand in operands:
+            if isinstance(operand, VarRead):
+                read.add(operand.var)
+        for value in block.var_writes.values():
+            if isinstance(value, VarRead):
+                read.add(value.var)
+    return read
+
+
+def eliminate_dead_code(cdfg: FunctionCDFG) -> int:
+    """Remove dead operations and dead register latches; returns the total
+    number of items deleted."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        read = _read_vars(cdfg)
+        keep = set(read)
+        keep.update(s for s in cdfg.registers if s.kind is SymbolKind.GLOBAL)
+        keep.update(cdfg.params)
+        for block in cdfg.blocks:
+            dead_latches = [v for v in block.var_writes if v not in keep]
+            for var in dead_latches:
+                del block.var_writes[var]
+                removed += 1
+                changed = True
+        for block in cdfg.blocks:
+            swept = _sweep_block(block)
+            if swept:
+                removed += swept
+                changed = True
+    live_registers = _read_vars(cdfg)
+    cdfg.registers = [
+        s
+        for s in cdfg.registers
+        if s in live_registers
+        or s.kind is SymbolKind.GLOBAL
+        or s in cdfg.params
+        or any(s in b.var_writes for b in cdfg.blocks)
+    ]
+    return removed

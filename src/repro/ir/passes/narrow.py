@@ -1,0 +1,404 @@
+"""Bit-width narrowing by value-range analysis.
+
+The paper's opening complaint about C as a hardware language: *"Bit vectors
+are natural in hardware, yet C only supports four sizes."*  A C program
+computes everything in 32-bit ints even when eight bits would do, and a
+naive translation pays for 32-bit adders, multipliers, and registers.
+
+This pass recovers the widths C's type system threw away:
+
+1. **Interval analysis** — a forward abstract interpretation over the
+   CFG: constants are exact; operator ranges follow interval arithmetic
+   clipped to the result type (if the interval fits the type, no wrap
+   occurs and the refined interval is sound; otherwise the type's full
+   range is used); branch conditions of the shape ``var <op> const``
+   refine the variable's range on each edge — which is what bounds loop
+   counters.  Iteration starts from the initial state (zero-initialized
+   locals, full-range parameters/globals), joins by union, and widens any
+   variable still unstable after a few rounds to its full declared range,
+   so termination and soundness are unconditional.
+
+2. **Narrowing** — a value whose range fits a smaller integer type is
+   retyped: wrap at the smaller width is the identity on the range, so
+   semantics are untouched (the property tests check this against the
+   interpreter).  Narrowed are pure-op results, constants, and *local*
+   scalar registers; parameters and globals keep their declared interface
+   widths.
+
+The E12 benchmark measures what this buys: quadratic-area multipliers and
+per-bit registers shrink to the widths the program actually needs —
+exactly what a designer gets for free in Verilog/VHDL and what sized-type
+extensions (``uint5``) bolt back onto C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ...lang.symtab import Symbol, SymbolKind
+from ...lang.types import BoolType, IntType, PointerType, make_int
+from ..cdfg import FunctionCDFG
+from ..ops import Branch, Const, Jump, Operand, Operation, OpKind, Ret, VReg, VarRead
+
+Range = Tuple[int, int]
+
+_MAX_ITERATIONS = 8
+
+
+def _type_range(value_type) -> Range:
+    if isinstance(value_type, BoolType):
+        return (0, 1)
+    if isinstance(value_type, IntType):
+        return (value_type.min_value, value_type.max_value)
+    if isinstance(value_type, PointerType):
+        return (0, (1 << 32) - 1)
+    return (-(1 << 63), (1 << 63) - 1)
+
+
+def _fits(range_: Range, value_type) -> bool:
+    lo, hi = range_
+    tlo, thi = _type_range(value_type)
+    return tlo <= lo and hi <= thi
+
+
+def _clip(range_: Range, value_type) -> Range:
+    """The operator's mathematical range, or the type's full range when a
+    wrap is possible."""
+    return range_ if _fits(range_, value_type) else _type_range(value_type)
+
+
+def _union(a: Optional[Range], b: Range) -> Range:
+    if a is None:
+        return b
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def minimal_type(range_: Range, signed_hint: bool) -> IntType:
+    """The narrowest IntType containing ``range_``."""
+    lo, hi = range_
+    if lo >= 0 and not signed_hint:
+        width = max(hi.bit_length(), 1)
+        return make_int(min(width, 128), signed=False)
+    width = 1
+    while not (-(1 << (width - 1)) <= lo and hi <= (1 << (width - 1)) - 1):
+        width += 1
+        if width >= 128:
+            break
+    return make_int(min(width, 128), signed=True)
+
+
+def _binary_range(op: str, a: Range, b: Range, result_type) -> Range:
+    alo, ahi = a
+    blo, bhi = b
+    if op == "+":
+        return _clip((alo + blo, ahi + bhi), result_type)
+    if op == "-":
+        return _clip((alo - bhi, ahi - blo), result_type)
+    if op == "*":
+        products = (alo * blo, alo * bhi, ahi * blo, ahi * bhi)
+        return _clip((min(products), max(products)), result_type)
+    if op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+        return (0, 1)
+    if op == "&":
+        # AND with a non-negative value can only clear bits: the result is
+        # in [0, that value's max], whatever the other operand's sign.
+        if alo >= 0 and blo >= 0:
+            return (0, min(ahi, bhi))
+        if blo >= 0:
+            return (0, bhi)
+        if alo >= 0:
+            return (0, ahi)
+        return _type_range(result_type)
+    if op == "|" or op == "^":
+        if alo >= 0 and blo >= 0:
+            bits = max(ahi.bit_length(), bhi.bit_length(), 1)
+            return (0, (1 << bits) - 1)
+        return _type_range(result_type)
+    if op == "<<":
+        if alo >= 0 and 0 <= blo and bhi <= 63:
+            return _clip((alo << blo, ahi << bhi), result_type)
+        return _type_range(result_type)
+    if op == ">>":
+        if alo >= 0 and blo >= 0:
+            return (alo >> min(bhi, 63), ahi >> min(blo, 63))
+        return _type_range(result_type)
+    if op == "%":
+        if blo > 0:
+            # C: result sign follows the dividend; magnitude < divisor.
+            if alo >= 0:
+                return (0, bhi - 1)
+            return (-(bhi - 1), bhi - 1)
+        return _type_range(result_type)
+    if op == "/":
+        if blo > 0 and alo >= 0:
+            return (alo // bhi, ahi // blo)
+        return _type_range(result_type)
+    return _type_range(result_type)
+
+
+@dataclass
+class NarrowReport:
+    vregs_narrowed: int = 0
+    constants_narrowed: int = 0
+    registers_narrowed: int = 0
+    bits_saved: int = 0
+
+
+def _intersect(a: Range, b: Range) -> Optional[Range]:
+    lo, hi = max(a[0], b[0]), min(a[1], b[1])
+    return (lo, hi) if lo <= hi else None
+
+
+State = Dict[Symbol, Range]
+
+
+class _Narrower:
+    def __init__(self, cdfg: FunctionCDFG):
+        self.cdfg = cdfg
+        self.blocks = cdfg.reachable_blocks()
+        # Per-block entry state: var -> range.  None = not yet reached.
+        self.entry_state: Dict[int, Optional[State]] = {
+            b.id: None for b in self.blocks
+        }
+        # The final, program-wide range per variable (union over blocks).
+        self.var_range: Dict[Symbol, Range] = {}
+        self.report = NarrowReport()
+
+    # -- transfer functions --------------------------------------------------
+
+    def _operand_range(self, operand: Operand, state: State,
+                       vreg_range: Dict[VReg, Range]) -> Range:
+        if isinstance(operand, Const):
+            return (operand.value, operand.value)
+        if isinstance(operand, VarRead):
+            return state.get(operand.var, _type_range(operand.var.type))
+        return vreg_range.get(operand, _type_range(operand.type))
+
+    def _op_range(self, op: Operation, state: State,
+                  vreg_range: Dict[VReg, Range]) -> Range:
+        assert op.dest is not None
+        ranges = [self._operand_range(o, state, vreg_range) for o in op.operands]
+        if op.kind is OpKind.BINARY:
+            return _binary_range(op.op, ranges[0], ranges[1], op.dest.type)
+        if op.kind is OpKind.UNARY:
+            lo, hi = ranges[0]
+            if op.op == "-":
+                return _clip((-hi, -lo), op.dest.type)
+            if op.op == "!":
+                return (0, 1)
+            return _type_range(op.dest.type)  # ~ flips every bit
+        if op.kind is OpKind.CAST:
+            return _clip(ranges[0], op.dest.type)
+        if op.kind is OpKind.SELECT:
+            return _union(ranges[1], ranges[2])
+        if op.kind is OpKind.LOAD:
+            assert op.array is not None
+            element = op.array.type.element  # type: ignore[union-attr]
+            return _type_range(element)
+        return _type_range(op.dest.type)
+
+    def _execute_block(self, block, state: State):
+        """Returns (exit_state, vreg ranges, comparison facts) where facts
+        maps a comparison VReg to (var, op, const) for edge refinement."""
+        state = dict(state)
+        vreg_range: Dict[VReg, Range] = {}
+        facts: Dict[VReg, tuple] = {}
+        for op in block.ops:
+            if op.dest is None:
+                continue
+            vreg_range[op.dest] = self._op_range(op, state, vreg_range)
+            if (
+                op.kind is OpKind.BINARY
+                and op.op in ("<", "<=", ">", ">=", "==", "!=")
+                and isinstance(op.operands[0], VarRead)
+                and isinstance(op.operands[1], Const)
+            ):
+                facts[op.dest] = (
+                    op.operands[0].var, op.op, op.operands[1].value
+                )
+        exit_state = dict(state)
+        for var, value in block.var_writes.items():
+            exit_state[var] = _clip(
+                self._operand_range(value, state, vreg_range), var.type
+            )
+        return exit_state, vreg_range, facts
+
+    @staticmethod
+    def _refine(state: State, fact: tuple, taken: bool) -> Optional[State]:
+        """State on a branch edge given ``var <op> const`` was taken/not."""
+        var, op, const = fact
+        current = state.get(var, _type_range(var.type))
+        big = 1 << 70
+        bounds = {
+            ("<", True): (-big, const - 1), ("<", False): (const, big),
+            ("<=", True): (-big, const), ("<=", False): (const + 1, big),
+            (">", True): (const + 1, big), (">", False): (-big, const),
+            (">=", True): (const, big), (">=", False): (-big, const - 1),
+            ("==", True): (const, const), ("==", False): None,
+            ("!=", False): (const, const), ("!=", True): None,
+        }
+        bound = bounds.get((op, taken))
+        if bound is None:
+            return dict(state)
+        refined = _intersect(current, bound)
+        if refined is None:
+            return None  # edge is infeasible under this state
+        out = dict(state)
+        out[var] = refined
+        return out
+
+    # -- fixpoint --------------------------------------------------------------
+
+    def _initial_state(self) -> State:
+        state: State = {}
+        for symbol in self.cdfg.registers:
+            if symbol in self.cdfg.params or symbol.kind is SymbolKind.GLOBAL:
+                state[symbol] = _type_range(symbol.type)
+            else:
+                state[symbol] = (0, 0)  # registers power up at zero
+        return state
+
+    @staticmethod
+    def _join(a: Optional[State], b: State) -> State:
+        if a is None:
+            return dict(b)
+        out = dict(a)
+        for var, range_ in b.items():
+            out[var] = _union(out.get(var), range_)
+        return out
+
+    def analyze(self) -> Dict[VReg, Range]:
+        if not self.blocks:
+            return {}
+        entry = self.blocks[0]
+        self.entry_state[entry.id] = self._initial_state()
+        final_vregs: Dict[VReg, Range] = {}
+        for iteration in range(4 * _MAX_ITERATIONS):
+            changed = False
+            # Only variables still moving in THIS iteration are widening
+            # candidates; converged ones keep their tight ranges.
+            changed_vars: Dict[Symbol, None] = {}
+            final_vregs = {}
+            for block in self.blocks:
+                state = self.entry_state[block.id]
+                if state is None:
+                    continue
+                exit_state, vreg_range, facts = self._execute_block(block, state)
+                final_vregs.update(vreg_range)
+                terminator = block.terminator
+                targets = []
+                if isinstance(terminator, Jump):
+                    targets = [(terminator.target, dict(exit_state))]
+                elif isinstance(terminator, Branch):
+                    cond = terminator.cond
+                    fact = facts.get(cond) if isinstance(cond, VReg) else None
+                    for successor, taken in (
+                        (terminator.if_true, True), (terminator.if_false, False)
+                    ):
+                        if fact is not None:
+                            refined = self._refine(exit_state, fact, taken)
+                            if refined is None:
+                                continue
+                            targets.append((successor, refined))
+                        else:
+                            targets.append((successor, dict(exit_state)))
+                for successor, edge_state in targets:
+                    joined = self._join(self.entry_state.get(successor.id),
+                                        edge_state)
+                    if joined != self.entry_state.get(successor.id):
+                        before = self.entry_state.get(successor.id)
+                        if before is not None:
+                            for var in joined:
+                                if before.get(var) != joined[var]:
+                                    changed_vars[var] = None
+                        self.entry_state[successor.id] = joined
+                        changed = True
+            if not changed:
+                break
+            if iteration == 2 * _MAX_ITERATIONS:
+                # Widen the variables still in motion to their full type
+                # range; the iteration then converges unconditionally.
+                for block_state in self.entry_state.values():
+                    if block_state is None:
+                        continue
+                    for var in changed_vars:
+                        if var in block_state:
+                            block_state[var] = _type_range(var.type)
+        else:
+            # Never converged: give up soundly — widen everything.
+            for block in self.blocks:
+                state = self.entry_state[block.id]
+                if state is None:
+                    continue
+                for var in state:
+                    state[var] = _type_range(var.type)
+            final_vregs = {}
+            for block in self.blocks:
+                state = self.entry_state[block.id]
+                if state is None:
+                    continue
+                _, vreg_range, _ = self._execute_block(block, state)
+                final_vregs.update(vreg_range)
+        # Program-wide variable ranges: union over block entries and exits.
+        for block in self.blocks:
+            state = self.entry_state[block.id]
+            if state is None:
+                continue
+            exit_state, _, _ = self._execute_block(block, state)
+            for snapshot in (state, exit_state):
+                for var, range_ in snapshot.items():
+                    self.var_range[var] = _union(self.var_range.get(var), range_)
+        for symbol in self.cdfg.registers:
+            self.var_range.setdefault(symbol, _type_range(symbol.type))
+        return final_vregs
+
+    def apply(self) -> NarrowReport:
+        vreg_range = self.analyze()
+        # Narrow pure-op results.
+        for block in self.cdfg.blocks:
+            for op in block.ops:
+                if op.dest is None or op.dest not in vreg_range:
+                    continue
+                if op.kind in (OpKind.LOAD, OpKind.RECV):
+                    continue  # interface widths belong to the memory/channel
+                current = op.dest.type
+                if not isinstance(current, (IntType, BoolType)):
+                    continue
+                signed_hint = isinstance(current, IntType) and current.signed
+                narrow = minimal_type(vreg_range[op.dest], signed_hint)
+                if narrow.bit_width < current.bit_width:
+                    self.report.vregs_narrowed += 1
+                    self.report.bits_saved += current.bit_width - narrow.bit_width
+                    object.__setattr__(op.dest, "type", narrow)
+                # Constants: retype to their own minimal width.
+                for index, operand in enumerate(op.operands):
+                    if isinstance(operand, Const) and isinstance(
+                        operand.type, IntType
+                    ):
+                        tight = minimal_type(
+                            (operand.value, operand.value), operand.type.signed
+                        )
+                        if tight.bit_width < operand.type.bit_width:
+                            op.operands[index] = Const(operand.value, tight)
+                            self.report.constants_narrowed += 1
+        # Narrow local scalar registers (never interface symbols).
+        for symbol in self.cdfg.registers:
+            if symbol in self.cdfg.params or symbol.kind is SymbolKind.GLOBAL:
+                continue
+            current = symbol.type
+            if not isinstance(current, IntType):
+                continue
+            narrow = minimal_type(self.var_range[symbol], current.signed)
+            if narrow.bit_width < current.bit_width:
+                self.report.registers_narrowed += 1
+                self.report.bits_saved += current.bit_width - narrow.bit_width
+                symbol.type = narrow
+        return self.report
+
+
+def narrow_widths(cdfg: FunctionCDFG) -> NarrowReport:
+    """Run value-range bit-width narrowing on a built (ideally optimized)
+    CDFG.  Mutates VReg/Const/local-register types in place; semantics are
+    preserved because every narrowed value's range fits its new type."""
+    return _Narrower(cdfg).apply()

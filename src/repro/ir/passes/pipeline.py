@@ -1,0 +1,59 @@
+"""The standard optimization pipeline run by every scheduled flow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..cdfg import FunctionCDFG, validate
+from .constfold import fold_constants
+from .cse import eliminate_common_subexpressions
+from .dce import eliminate_dead_code
+from .simplify import simplify_cfg
+
+
+@dataclass
+class OptimizationReport:
+    """Counts of what each pass did, summed over all iterations."""
+
+    constants_folded: int = 0
+    subexpressions_eliminated: int = 0
+    dead_removed: int = 0
+    cfg_changes: int = 0
+    iterations: int = 0
+
+    def total(self) -> int:
+        return (
+            self.constants_folded
+            + self.subexpressions_eliminated
+            + self.dead_removed
+            + self.cfg_changes
+        )
+
+
+def optimize(cdfg: FunctionCDFG, max_iterations: int = 8) -> OptimizationReport:
+    """Run fold/CSE/DCE/simplify to a fixed point (bounded).
+
+    The passes enable each other — folding exposes dead code, CFG merging
+    exposes CSE — so they loop until quiescent.
+    """
+    report = OptimizationReport()
+    for _ in range(max_iterations):
+        report.iterations += 1
+        changed = 0
+        folded = fold_constants(cdfg)
+        report.constants_folded += folded
+        changed += folded
+        merged = simplify_cfg(cdfg)
+        report.cfg_changes += merged
+        changed += merged
+        eliminated = eliminate_common_subexpressions(cdfg)
+        report.subexpressions_eliminated += eliminated
+        changed += eliminated
+        removed = eliminate_dead_code(cdfg)
+        report.dead_removed += removed
+        changed += removed
+        if not changed:
+            break
+    validate(cdfg)
+    return report

@@ -1,0 +1,356 @@
+"""Abstract syntax tree for the C-like language.
+
+Every node carries a :class:`SourceLocation`.  Expression nodes gain a
+``type`` attribute during semantic analysis; it is ``None`` straight out of
+the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .errors import SourceLocation, UNKNOWN_LOCATION
+from .types import Type
+
+
+@dataclass
+class Node:
+    location: SourceLocation = field(default=UNKNOWN_LOCATION, kw_only=True)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions.  ``type`` is filled in by semantic
+    analysis and read by every downstream consumer."""
+
+    type: Optional[Type] = field(default=None, kw_only=True)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool = False
+
+
+@dataclass
+class Identifier(Expr):
+    name: str = ""
+
+
+@dataclass
+class UnaryOp(Expr):
+    """``op`` is one of: ``-``, ``~``, ``!``, ``*`` (deref), ``&`` (addr)."""
+
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class BinaryOp(Expr):
+    """``op`` is the C spelling: ``+ - * / % & | ^ << >> < <= > >= == != && ||``."""
+
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Conditional(Expr):
+    """The ternary ``cond ? then : otherwise``."""
+
+    cond: Expr = None  # type: ignore[assignment]
+    then: Expr = None  # type: ignore[assignment]
+    otherwise: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class ArrayIndex(Expr):
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Call(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Receive(Expr):
+    """``recv(channel)`` — CSP rendezvous read (Handel-C ``?``, Bach C)."""
+
+    channel: str = ""
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    """A local or global declaration, possibly with an initializer.
+
+    For arrays, ``init`` may be a list of expressions (brace initializer).
+    """
+
+    name: str = ""
+    var_type: Type = None  # type: ignore[assignment]
+    init: Optional[Expr] = None
+    array_init: Optional[List[Expr]] = None
+    is_const: bool = False
+
+
+@dataclass
+class ChannelDecl(Stmt):
+    """``chan<int> c;`` — declares a rendezvous channel."""
+
+    name: str = ""
+    element_type: Type = None  # type: ignore[assignment]
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value;`` where target is Identifier, ArrayIndex, or a
+    pointer dereference (UnaryOp '*')."""
+
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Stmt = None  # type: ignore[assignment]
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt = None  # type: ignore[assignment]
+    cond: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Stmt):
+    """``for (init; cond; step) body``.  Any of the three heads may be None."""
+
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Par(Stmt):
+    """``par { s1 s2 ... }`` — run the component statements concurrently and
+    join when all finish (Handel-C / Bach C / SpecC semantics)."""
+
+    branches: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Seq(Stmt):
+    """``seq { ... }`` — explicit sequential grouping inside ``par``."""
+
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class Wait(Stmt):
+    """``wait();`` — an explicit cycle boundary (SystemC sequential style)."""
+
+
+@dataclass
+class Delay(Stmt):
+    """``delay(n);`` — wait ``n`` cycles (Handel-C ``delay``)."""
+
+    cycles: int = 1
+
+
+@dataclass
+class Within(Stmt):
+    """``within (n) { ... }`` — HardwareC-style timing constraint: the body
+    must be scheduled into at most ``n`` control steps."""
+
+    cycles: int = 0
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class Send(Stmt):
+    """``send(channel, expr);`` — CSP rendezvous write."""
+
+    channel: str = ""
+    value: Expr = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    param_type: Type = None  # type: ignore[assignment]
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    return_type: Type = None  # type: ignore[assignment]
+    params: List[Param] = field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+    is_process: bool = False  # ``process`` keyword: a top-level parallel unit
+
+
+@dataclass
+class Program(Node):
+    functions: List[FunctionDef] = field(default_factory=list)
+    globals: List[VarDecl] = field(default_factory=list)
+    channels: List[ChannelDecl] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDef:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function named {name!r}")
+
+    @property
+    def processes(self) -> List[FunctionDef]:
+        return [fn for fn in self.functions if fn.is_process]
+
+
+_ASSIGNABLE = (Identifier, ArrayIndex)
+
+
+def is_lvalue(expr: Expr) -> bool:
+    """Whether ``expr`` may appear on the left of an assignment."""
+    if isinstance(expr, _ASSIGNABLE):
+        return True
+    return isinstance(expr, UnaryOp) and expr.op == "*"
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and every sub-expression, preorder."""
+    yield expr
+    if isinstance(expr, UnaryOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, BinaryOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, Conditional):
+        yield from walk_expr(expr.cond)
+        yield from walk_expr(expr.then)
+        yield from walk_expr(expr.otherwise)
+    elif isinstance(expr, ArrayIndex):
+        yield from walk_expr(expr.base)
+        yield from walk_expr(expr.index)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+
+
+def walk_stmts(stmt: Stmt):
+    """Yield ``stmt`` and every nested statement, preorder."""
+    yield stmt
+    if isinstance(stmt, Block):
+        for child in stmt.statements:
+            yield from walk_stmts(child)
+    elif isinstance(stmt, If):
+        yield from walk_stmts(stmt.then)
+        if stmt.otherwise is not None:
+            yield from walk_stmts(stmt.otherwise)
+    elif isinstance(stmt, While):
+        yield from walk_stmts(stmt.body)
+    elif isinstance(stmt, DoWhile):
+        yield from walk_stmts(stmt.body)
+    elif isinstance(stmt, For):
+        if stmt.init is not None:
+            yield from walk_stmts(stmt.init)
+        if stmt.step is not None:
+            yield from walk_stmts(stmt.step)
+        yield from walk_stmts(stmt.body)
+    elif isinstance(stmt, Par):
+        for branch in stmt.branches:
+            yield from walk_stmts(branch)
+    elif isinstance(stmt, Seq):
+        yield from walk_stmts(stmt.body)
+    elif isinstance(stmt, Within):
+        yield from walk_stmts(stmt.body)
+
+
+def stmt_expressions(stmt: Stmt):
+    """Yield the expressions directly attached to ``stmt`` (not nested
+    statements' expressions)."""
+    if isinstance(stmt, VarDecl):
+        if stmt.init is not None:
+            yield stmt.init
+        if stmt.array_init is not None:
+            yield from stmt.array_init
+    elif isinstance(stmt, Assign):
+        yield stmt.target
+        yield stmt.value
+    elif isinstance(stmt, ExprStmt):
+        yield stmt.expr
+    elif isinstance(stmt, If):
+        yield stmt.cond
+    elif isinstance(stmt, While):
+        yield stmt.cond
+    elif isinstance(stmt, DoWhile):
+        yield stmt.cond
+    elif isinstance(stmt, For):
+        if stmt.cond is not None:
+            yield stmt.cond
+    elif isinstance(stmt, Return):
+        if stmt.value is not None:
+            yield stmt.value
+    elif isinstance(stmt, Send):
+        yield stmt.value

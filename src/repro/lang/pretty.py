@@ -1,0 +1,170 @@
+"""Pretty-printer: turns an AST back into compilable source text.
+
+Used for golden tests (parse → print → parse must be a fixed point), for
+emitting the recoded program variants the timing experiments generate, and
+for debugging transformed programs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast_nodes as ast
+
+_INDENT = "    "
+
+
+def _expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.IntLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLiteral):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.UnaryOp):
+        return f"{expr.op}({_expr(expr.operand)})"
+    if isinstance(expr, ast.BinaryOp):
+        return f"({_expr(expr.left)} {expr.op} {_expr(expr.right)})"
+    if isinstance(expr, ast.Conditional):
+        return f"({_expr(expr.cond)} ? {_expr(expr.then)} : {_expr(expr.otherwise)})"
+    if isinstance(expr, ast.ArrayIndex):
+        return f"{_expr(expr.base)}[{_expr(expr.index)}]"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(_expr(a) for a in expr.args)
+        return f"{expr.callee}({args})"
+    if isinstance(expr, ast.Receive):
+        return f"recv({expr.channel})"
+    raise TypeError(f"cannot print expression {type(expr).__name__}")
+
+
+def _stmt(stmt: ast.Stmt, indent: int, out: List[str]) -> None:
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.Block):
+        out.append(pad + "{")
+        for child in stmt.statements:
+            _stmt(child, indent + 1, out)
+        out.append(pad + "}")
+    elif isinstance(stmt, ast.VarDecl):
+        text = f"{pad}{'const ' if stmt.is_const else ''}{stmt.var_type} {stmt.name}"
+        # ArrayType prints as "elem[N]"; declarations need "elem name[N]".
+        from .types import ArrayType
+
+        if isinstance(stmt.var_type, ArrayType):
+            dims = ""
+            base = stmt.var_type
+            while isinstance(base, ArrayType):
+                dims += f"[{base.size}]"
+                base = base.element
+            text = f"{pad}{'const ' if stmt.is_const else ''}{base} {stmt.name}{dims}"
+        if stmt.init is not None:
+            text += f" = {_expr(stmt.init)}"
+        elif stmt.array_init is not None:
+            text += " = {" + ", ".join(_expr(e) for e in stmt.array_init) + "}"
+        out.append(text + ";")
+    elif isinstance(stmt, ast.ChannelDecl):
+        out.append(f"{pad}chan<{stmt.element_type}> {stmt.name};")
+    elif isinstance(stmt, ast.Assign):
+        out.append(f"{pad}{_expr(stmt.target)} = {_expr(stmt.value)};")
+    elif isinstance(stmt, ast.ExprStmt):
+        out.append(f"{pad}{_expr(stmt.expr)};")
+    elif isinstance(stmt, ast.If):
+        out.append(f"{pad}if ({_expr(stmt.cond)})")
+        _stmt_as_block(stmt.then, indent, out)
+        if stmt.otherwise is not None:
+            out.append(f"{pad}else")
+            _stmt_as_block(stmt.otherwise, indent, out)
+    elif isinstance(stmt, ast.While):
+        out.append(f"{pad}while ({_expr(stmt.cond)})")
+        _stmt_as_block(stmt.body, indent, out)
+    elif isinstance(stmt, ast.DoWhile):
+        out.append(f"{pad}do")
+        _stmt_as_block(stmt.body, indent, out)
+        out.append(f"{pad}while ({_expr(stmt.cond)});")
+    elif isinstance(stmt, ast.For):
+        init = ""
+        if isinstance(stmt.init, ast.VarDecl):
+            fragment: List[str] = []
+            _stmt(stmt.init, 0, fragment)
+            init = fragment[0].rstrip(";")
+        elif isinstance(stmt.init, ast.Assign):
+            init = f"{_expr(stmt.init.target)} = {_expr(stmt.init.value)}"
+        elif isinstance(stmt.init, ast.ExprStmt):
+            init = _expr(stmt.init.expr)
+        cond = _expr(stmt.cond) if stmt.cond is not None else ""
+        step = ""
+        if isinstance(stmt.step, ast.Assign):
+            step = f"{_expr(stmt.step.target)} = {_expr(stmt.step.value)}"
+        elif isinstance(stmt.step, ast.ExprStmt):
+            step = _expr(stmt.step.expr)
+        out.append(f"{pad}for ({init}; {cond}; {step})")
+        _stmt_as_block(stmt.body, indent, out)
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            out.append(f"{pad}return;")
+        else:
+            out.append(f"{pad}return {_expr(stmt.value)};")
+    elif isinstance(stmt, ast.Break):
+        out.append(f"{pad}break;")
+    elif isinstance(stmt, ast.Continue):
+        out.append(f"{pad}continue;")
+    elif isinstance(stmt, ast.Par):
+        out.append(f"{pad}par {{")
+        for branch in stmt.branches:
+            _stmt(branch, indent + 1, out)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, ast.Seq):
+        out.append(f"{pad}seq")
+        _stmt(stmt.body, indent, out)
+    elif isinstance(stmt, ast.Wait):
+        out.append(f"{pad}wait();")
+    elif isinstance(stmt, ast.Delay):
+        out.append(f"{pad}delay({stmt.cycles});")
+    elif isinstance(stmt, ast.Within):
+        out.append(f"{pad}within ({stmt.cycles})")
+        _stmt(stmt.body, indent, out)
+    elif isinstance(stmt, ast.Send):
+        out.append(f"{pad}send({stmt.channel}, {_expr(stmt.value)});")
+    else:
+        raise TypeError(f"cannot print statement {type(stmt).__name__}")
+
+
+def _stmt_as_block(stmt: ast.Stmt, indent: int, out: List[str]) -> None:
+    """Print a statement that syntactically follows if/while/for; blocks
+    print braces at the parent's indent, everything else indents one level."""
+    if isinstance(stmt, ast.Block):
+        _stmt(stmt, indent, out)
+    else:
+        _stmt(stmt, indent + 1, out)
+
+
+def _param(param: ast.Param) -> str:
+    from .types import ArrayType, ChannelType
+
+    if isinstance(param.param_type, ChannelType):
+        return f"chan<{param.param_type.element}> {param.name}"
+    if isinstance(param.param_type, ArrayType):
+        dims = ""
+        base = param.param_type
+        while isinstance(base, ArrayType):
+            dims += f"[{base.size}]"
+            base = base.element
+        return f"{base} {param.name}{dims}"
+    return f"{param.param_type} {param.name}"
+
+
+def print_program(program: ast.Program) -> str:
+    """Render a full translation unit."""
+    out: List[str] = []
+    for chan in program.channels:
+        out.append(f"chan<{chan.element_type}> {chan.name};")
+    for decl in program.globals:
+        _stmt(decl, 0, out)
+    if out:
+        out.append("")
+    for fn in program.functions:
+        params = ", ".join(_param(p) for p in fn.params)
+        prefix = "process " if fn.is_process else ""
+        out.append(f"{prefix}{fn.return_type} {fn.name}({params})")
+        _stmt(fn.body, 0, out)
+        out.append("")
+    return "\n".join(out).rstrip() + "\n"

@@ -1,0 +1,233 @@
+"""The type system of the C-like input language.
+
+The language deliberately mirrors the fault line the paper identifies: plain C
+offers only a handful of machine-word types, while hardware wants arbitrary
+bit vectors.  We therefore support both the classic C names (``int``,
+``char``, ``bool``) and explicit-width integers (``int12``, ``uint5``), plus
+arrays, pointers (for the C2Verilog flow), and CSP-style channels (for the
+Handel-C / Bach C flows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class Type:
+    """Base class for all types.  Types are immutable value objects."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == getattr(other, "__dict__", None)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+    @property
+    def bit_width(self) -> int:
+        """Number of bits a value of this type occupies in hardware."""
+        raise NotImplementedError
+
+    def is_scalar(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True, eq=False)
+class VoidType(Type):
+    """The type of functions that return nothing."""
+
+    @property
+    def bit_width(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True, eq=False)
+class BoolType(Type):
+    """A single-bit truth value (C99 ``_Bool`` / our ``bool``)."""
+
+    @property
+    def bit_width(self) -> int:
+        return 1
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True, eq=False)
+class IntType(Type):
+    """A fixed-width two's-complement or unsigned integer.
+
+    ``int`` is IntType(32, signed=True); ``uint7`` is IntType(7, signed=False).
+    Widths from 1 to 128 bits are accepted; hardware rarely wants more, and
+    the bound keeps the interpreter's masking arithmetic honest.
+    """
+
+    width: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.width <= 128:
+            raise ValueError(f"integer width {self.width} out of range 1..128")
+
+    @property
+    def bit_width(self) -> int:
+        return self.width
+
+    def is_scalar(self) -> bool:
+        return True
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.width - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.width - 1)) - 1 if self.signed else (1 << self.width) - 1
+
+    def wrap(self, value: int) -> int:
+        """Reduce ``value`` modulo 2**width into this type's range.
+
+        This is the single place where the language's machine arithmetic is
+        defined; the interpreter, the FSMD simulator, and the dataflow
+        simulator all call it so that every backend agrees bit-for-bit.
+        """
+        masked = value & ((1 << self.width) - 1)
+        if self.signed and masked >= (1 << (self.width - 1)):
+            masked -= 1 << self.width
+        return masked
+
+    def __str__(self) -> str:
+        if self.width == 32 and self.signed:
+            return "int"
+        return f"{'int' if self.signed else 'uint'}{self.width}"
+
+
+@dataclass(frozen=True, eq=False)
+class ArrayType(Type):
+    """A statically sized array.  Arrays map to hardware memories."""
+
+    element: Type
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"array size {self.size} must be positive")
+
+    @property
+    def bit_width(self) -> int:
+        return self.element.bit_width * self.size
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.size}]"
+
+
+@dataclass(frozen=True, eq=False)
+class PointerType(Type):
+    """A pointer.  Supported only by flows that model C2Verilog's breadth;
+    other flows reject programs containing pointers, exactly as the
+    corresponding historical tools did."""
+
+    target: Type
+
+    @property
+    def bit_width(self) -> int:
+        # Pointers into our memory model are word addresses.
+        return 32
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.target}*"
+
+
+@dataclass(frozen=True, eq=False)
+class ChannelType(Type):
+    """A CSP rendezvous channel carrying values of ``element`` type
+    (Handel-C ``chan``, Bach C communication)."""
+
+    element: Type
+
+    @property
+    def bit_width(self) -> int:
+        return self.element.bit_width
+
+    def __str__(self) -> str:
+        return f"chan<{self.element}>"
+
+
+@dataclass(frozen=True, eq=False)
+class FunctionType(Type):
+    """The type of a function: parameter types plus a return type."""
+
+    params: Tuple[Type, ...]
+    result: Type
+
+    @property
+    def bit_width(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        args = ", ".join(str(p) for p in self.params)
+        return f"{self.result}({args})"
+
+
+# Canonical singletons for the common cases.
+VOID = VoidType()
+BOOL = BoolType()
+INT = IntType(32, signed=True)
+UINT = IntType(32, signed=False)
+CHAR = IntType(8, signed=True)
+
+
+def make_int(width: int, signed: bool) -> IntType:
+    """Construct (or reuse) an integer type of the given shape."""
+    if width == 32:
+        return INT if signed else UINT
+    if width == 8 and signed:
+        return CHAR
+    return IntType(width, signed)
+
+
+def common_type(a: Type, b: Type) -> Optional[Type]:
+    """The usual arithmetic conversion for a binary operator.
+
+    Returns None when the operands cannot be combined.  Rules are a
+    simplified version of C's: bools promote to int; the wider width wins;
+    unsigned wins ties, mirroring C's value-preserving promotions closely
+    enough for hardware kernels.
+    """
+    if isinstance(a, BoolType):
+        a = make_int(1, False)
+    if isinstance(b, BoolType):
+        b = make_int(1, False)
+    if isinstance(a, PointerType) and isinstance(b, IntType):
+        return a
+    if isinstance(b, PointerType) and isinstance(a, IntType):
+        return b
+    if isinstance(a, PointerType) and isinstance(b, PointerType):
+        return a if a == b else None
+    if not isinstance(a, IntType) or not isinstance(b, IntType):
+        return None
+    width = max(a.width, b.width)
+    signed = a.signed and b.signed
+    return make_int(width, signed)
+
+
+def is_assignable(dst: Type, src: Type) -> bool:
+    """Whether a value of type ``src`` may be stored into ``dst``.
+
+    Integer narrowing is permitted (hardware code resizes constantly); the
+    interpreter and simulators wrap on store, so narrowing is well defined.
+    """
+    if isinstance(dst, (IntType, BoolType)) and isinstance(src, (IntType, BoolType)):
+        return True
+    if isinstance(dst, PointerType) and isinstance(src, PointerType):
+        return dst.target == src.target
+    return dst == src

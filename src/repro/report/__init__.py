@@ -1,0 +1,5 @@
+"""Result formatting for experiments and benchmarks."""
+
+from .tables import format_dict, format_series, format_table
+
+__all__ = ["format_dict", "format_series", "format_table"]

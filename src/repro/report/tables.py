@@ -1,0 +1,59 @@
+"""Plain-text tables and series, matching how the paper reports results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in materialized:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_series(
+    name: str,
+    points: Sequence[tuple],
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 40,
+) -> str:
+    """A series with an ASCII bar per point — the 'figure' form for
+    terminals.  Bars scale to the maximum y."""
+    out = [f"{name}  ({x_label} -> {y_label})"]
+    values = [float(y) for _, y in points]
+    top = max(values) if values else 1.0
+    top = top if top > 0 else 1.0
+    for (x, y) in points:
+        bar = "#" * max(1, int(round(width * float(y) / top))) if y else ""
+        out.append(f"  {str(x):>10}  {float(y):>10.3f}  {bar}")
+    return "\n".join(out)
+
+
+def format_dict(name: str, data: Dict[str, object]) -> str:
+    width = max((len(k) for k in data), default=1)
+    lines = [name]
+    for key, value in data.items():
+        lines.append(f"  {key.ljust(width)}  {value}")
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""RTL-level artifacts: technology model, FSMD, combinational netlists,
+Verilog emission, and area/timing estimation."""
+
+from .tech import DEFAULT_TECH, Technology
+
+__all__ = ["DEFAULT_TECH", "Technology"]

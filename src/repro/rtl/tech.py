@@ -1,0 +1,180 @@
+"""Technology model: per-operator delay and area estimates.
+
+The paper's comparisons (combinational flattening vs. FSMDs, asynchronous
+dataflow vs. a global clock, one-cycle-per-assignment vs. scheduled) all
+hinge on *relative* operator costs, so this model is deliberately simple and
+fully documented rather than calibrated to a foundry:
+
+* delays are in nanoseconds for a generic ~90 nm standard-cell library;
+* areas are in gate equivalents (GE, one NAND2);
+* both scale with operand width: linearly for ripple-style arithmetic and
+  storage, quadratically for multipliers/dividers, logarithmically where a
+  tree structure is the obvious implementation (comparison, barrel shift,
+  wide multiplexing).
+
+Every flow and both simulators price hardware through this one table, so
+cross-flow comparisons are apples to apples by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+# Operator classes priced by the model.  The scheduler's resource classes
+# (repro.scheduling.resources) map onto these.
+ADD = "add"            # add/sub
+COMPARE = "compare"    # relational and equality
+LOGIC = "logic"        # and/or/xor/not
+SHIFT = "shift"        # barrel shifter
+MULTIPLY = "multiply"
+DIVIDE = "divide"
+SELECT = "select"      # 2:1 word mux
+CAST = "cast"          # resize: wires only
+MEM_READ = "mem_read"
+MEM_WRITE = "mem_write"
+REGISTER = "register"
+CHANNEL = "channel"    # rendezvous handshake
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A named set of cost coefficients.
+
+    ``base_delay_ns`` is the delay of the 32-bit instance of each operator;
+    ``base_area_ge`` its area.  Widths scale per the class's rule.
+    """
+
+    name: str = "generic-90nm"
+    base_delay_ns: Dict[str, float] = field(default_factory=lambda: dict(_BASE_DELAY))
+    base_area_ge: Dict[str, float] = field(default_factory=lambda: dict(_BASE_AREA))
+    # Sequential overhead folded into every clock period estimate.
+    register_setup_ns: float = 0.20
+    clock_skew_ns: float = 0.10
+    # Asynchronous circuits replace the clock with per-operator handshakes.
+    handshake_overhead_ns: float = 0.35
+
+    def delay_ns(self, op_class: str, width: int = 32) -> float:
+        base = self.base_delay_ns[op_class]
+        return base * _delay_scale(op_class, width)
+
+    def area_ge(self, op_class: str, width: int = 32) -> float:
+        base = self.base_area_ge[op_class]
+        return base * _area_scale(op_class, width)
+
+    def register_area_ge(self, width: int) -> float:
+        return self.base_area_ge[REGISTER] * (width / 32.0)
+
+    def memory_area_ge(self, words: int, width: int, ports: int = 1) -> float:
+        """A RAM macro: storage plus per-port decoding/sensing overhead."""
+        storage = 1.2 * words * width  # ~1.2 GE per bit of SRAM + overhead
+        port_overhead = ports * (40.0 + 2.0 * math.log2(max(words, 2)) * width / 8.0)
+        return storage + port_overhead
+
+    def mux_area_ge(self, inputs: int, width: int) -> float:
+        if inputs <= 1:
+            return 0.0
+        return self.base_area_ge[SELECT] * (inputs - 1) * (width / 32.0)
+
+    def mux_delay_ns(self, inputs: int, width: int = 32) -> float:
+        if inputs <= 1:
+            return 0.0
+        levels = math.ceil(math.log2(max(inputs, 2)))
+        return self.base_delay_ns[SELECT] * levels
+
+
+_BASE_DELAY: Dict[str, float] = {
+    ADD: 2.0,
+    COMPARE: 1.6,
+    LOGIC: 0.7,
+    SHIFT: 1.4,
+    MULTIPLY: 6.5,
+    DIVIDE: 22.0,
+    SELECT: 0.6,
+    CAST: 0.0,
+    MEM_READ: 2.8,
+    MEM_WRITE: 2.8,
+    REGISTER: 0.0,
+    CHANNEL: 1.0,
+}
+
+_BASE_AREA: Dict[str, float] = {
+    ADD: 280.0,
+    COMPARE: 130.0,
+    LOGIC: 64.0,
+    SHIFT: 350.0,
+    MULTIPLY: 3600.0,
+    DIVIDE: 5200.0,
+    SELECT: 96.0,
+    CAST: 0.0,
+    MEM_READ: 0.0,   # priced via memory_area_ge
+    MEM_WRITE: 0.0,
+    REGISTER: 260.0,
+    CHANNEL: 120.0,
+}
+
+# Width scaling rules.  `linear` classes scale proportionally with width;
+# `log` classes grow with a tree depth term; `quadratic` with width².
+_DELAY_RULE: Dict[str, str] = {
+    ADD: "linear_delay",
+    COMPARE: "log",
+    LOGIC: "flat",
+    SHIFT: "log",
+    MULTIPLY: "linear_delay",
+    DIVIDE: "linear",
+    SELECT: "flat",
+    CAST: "flat",
+    MEM_READ: "flat",
+    MEM_WRITE: "flat",
+    REGISTER: "flat",
+    CHANNEL: "flat",
+}
+
+_AREA_RULE: Dict[str, str] = {
+    ADD: "linear",
+    COMPARE: "linear",
+    LOGIC: "linear",
+    SHIFT: "linearlog",
+    MULTIPLY: "quadratic",
+    DIVIDE: "quadratic",
+    SELECT: "linear",
+    CAST: "flat",
+    MEM_READ: "flat",
+    MEM_WRITE: "flat",
+    REGISTER: "linear",
+    CHANNEL: "flat",
+}
+
+
+def _delay_scale(op_class: str, width: int) -> float:
+    rule = _DELAY_RULE[op_class]
+    w = max(width, 1)
+    if rule == "flat":
+        return 1.0
+    if rule == "log":
+        return math.log2(max(w, 2)) / math.log2(32)
+    if rule == "linear":
+        return w / 32.0
+    if rule == "linear_delay":
+        # Carry chains are partially parallel: sublinear growth.
+        return 0.35 + 0.65 * (w / 32.0)
+    raise KeyError(rule)
+
+
+def _area_scale(op_class: str, width: int) -> float:
+    rule = _AREA_RULE[op_class]
+    w = max(width, 1)
+    if rule == "flat":
+        return 1.0
+    if rule == "linear":
+        return w / 32.0
+    if rule == "linearlog":
+        return (w / 32.0) * (math.log2(max(w, 2)) / math.log2(32))
+    if rule == "quadratic":
+        return (w / 32.0) ** 2
+    raise KeyError(rule)
+
+
+DEFAULT_TECH = Technology()

@@ -1,0 +1,398 @@
+"""Verilog emission.
+
+Every synthesized artifact can be printed as synthesizable-style Verilog-
+2001: FSMDs become a state register plus one clocked always-block; Cones
+netlists become a forest of continuous assignments.  The text is the
+deliverable the historical tools produced (C2Verilog's and Transmogrifier's
+output *was* Verilog/netlists); it is emitted for inspection and downstream
+tooling, while functional verification happens in the cycle-accurate Python
+simulators against the golden model.
+
+Rendezvous channels appear as four-phase ready/valid port pairs; a state
+holding a channel operation stalls until its handshake completes, matching
+the simulator's semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..lang.symtab import Symbol, SymbolKind
+from ..lang.types import ArrayType, BoolType, IntType, PointerType, Type
+from ..ir.ops import Const, Operand, Operation, OpKind, VReg, VarRead
+from .combinational import CombinationalNetlist
+from .fsmd import CondNext, Done, FSMD, FSMDSystem, NextState, State
+
+
+def _width_of(value_type: Type) -> int:
+    if isinstance(value_type, (IntType, BoolType, PointerType)):
+        return max(value_type.bit_width, 1)
+    return 32
+
+
+def _is_signed(value_type: Type) -> bool:
+    return isinstance(value_type, IntType) and value_type.signed
+
+
+def _net_name(symbol: Symbol) -> str:
+    return symbol.unique_name.replace(".", "_").replace("~", "_").replace(
+        "[", "_"
+    ).replace("]", "")
+
+
+_BINARY_VERILOG = {
+    "+": "+", "-": "-", "*": "*", "/": "/", "%": "%",
+    "&": "&", "|": "|", "^": "^", "<<": "<<", ">>": ">>>",
+    "==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+    "&&": "&&", "||": "||",
+}
+
+
+class _ExprPrinter:
+    """Renders operand DAGs as Verilog expressions (inlined per use)."""
+
+    def __init__(self, producers: Dict[int, Operation]):
+        self.producers = producers
+
+    def operand(self, operand: Operand) -> str:
+        if isinstance(operand, Const):
+            width = _width_of(operand.type)
+            if operand.value < 0:
+                return f"-{width}'sd{abs(operand.value)}"
+            return f"{width}'d{operand.value}"
+        if isinstance(operand, VarRead):
+            return _net_name(operand.var)
+        producer = self.producers.get(operand.id)
+        if producer is None:
+            return f"/*unbound*/ {operand}"
+        return self.expression(producer)
+
+    def expression(self, op: Operation) -> str:
+        if op.kind is OpKind.BINARY:
+            verilog_op = _BINARY_VERILOG[op.op]
+            left = self.operand(op.operands[0])
+            right = self.operand(op.operands[1])
+            if op.op == ">>" and op.dest is not None and not _is_signed(op.dest.type):
+                verilog_op = ">>"
+            return f"({left} {verilog_op} {right})"
+        if op.kind is OpKind.UNARY:
+            mapping = {"-": "-", "~": "~", "!": "!"}
+            return f"({mapping[op.op]}{self.operand(op.operands[0])})"
+        if op.kind is OpKind.CAST:
+            assert op.dest is not None
+            width = _width_of(op.dest.type)
+            return f"({self.operand(op.operands[0])} & {{{width}{{1'b1}}}})"
+        if op.kind is OpKind.SELECT:
+            return (
+                f"({self.operand(op.operands[0])} ?"
+                f" {self.operand(op.operands[1])} :"
+                f" {self.operand(op.operands[2])})"
+            )
+        if op.kind is OpKind.LOAD:
+            assert op.array is not None
+            return f"{_net_name(op.array)}[{self.operand(op.operands[0])}]"
+        if op.kind is OpKind.RECV:
+            assert op.channel is not None
+            return f"{_net_name(op.channel)}_data_in"
+        return f"/*{op.kind.value}*/ 0"
+
+
+def _collect_producers(ops: List[Operation]) -> Dict[int, Operation]:
+    return {op.dest.id: op for op in ops if op.dest is not None}
+
+
+def emit_fsmd(fsmd: FSMD, module_name: Optional[str] = None) -> str:
+    """One FSMD as a Verilog module."""
+    name = module_name or f"fsmd_{fsmd.name}"
+    lines: List[str] = []
+    state_bits = max((fsmd.n_states - 1).bit_length(), 1)
+    result_width = (
+        _width_of(fsmd.return_type) if fsmd.return_type is not None else 32
+    )
+
+    channels: Set[Symbol] = set()
+    for state in fsmd.states:
+        for op in state.ops:
+            if op.channel is not None:
+                channels.add(op.channel)
+
+    ports = ["input wire clk", "input wire rst"]
+    for param in fsmd.params:
+        if isinstance(param.type, ArrayType):
+            continue
+        width = _width_of(param.type)
+        ports.append(f"input wire [{width - 1}:0] arg_{_net_name(param)}")
+    for channel in sorted(channels, key=_net_name):
+        width = _width_of(channel.type)
+        ports += [
+            f"output reg {_net_name(channel)}_valid_out",
+            f"output reg [{width - 1}:0] {_net_name(channel)}_data_out",
+            f"input wire {_net_name(channel)}_ready_out",
+            f"input wire {_net_name(channel)}_valid_in",
+            f"input wire [{width - 1}:0] {_net_name(channel)}_data_in",
+            f"output reg {_net_name(channel)}_ready_in",
+        ]
+    ports += ["output reg done", f"output reg [{result_width - 1}:0] result"]
+
+    lines.append(f"module {name} (")
+    lines.append("    " + ",\n    ".join(ports))
+    lines.append(");")
+    lines.append(f"    reg [{state_bits - 1}:0] state;")
+    for symbol in fsmd.registers:
+        width = _width_of(symbol.type)
+        signed = " signed" if _is_signed(symbol.type) else ""
+        lines.append(f"    reg{signed} [{width - 1}:0] {_net_name(symbol)};")
+    for array in fsmd.arrays:
+        assert isinstance(array.type, ArrayType)
+        width = _width_of(array.type.element)
+        lines.append(
+            f"    reg [{width - 1}:0] {_net_name(array)}"
+            f" [0:{array.type.size - 1}];"
+        )
+    lines.append("")
+    lines.append("    always @(posedge clk) begin")
+    lines.append("        if (rst) begin")
+    lines.append(f"            state <= {state_bits}'d{fsmd.entry};")
+    lines.append("            done <= 1'b0;")
+    for param in fsmd.params:
+        if isinstance(param.type, ArrayType):
+            continue
+        lines.append(
+            f"            {_net_name(param)} <= arg_{_net_name(param)};"
+        )
+    lines.append("        end else begin")
+    lines.append("            case (state)")
+    for state in fsmd.states:
+        lines.extend(_emit_state(state, state_bits, fsmd))
+    lines.append("            endcase")
+    lines.append("        end")
+    lines.append("    end")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def _emit_state(state: State, state_bits: int, fsmd: FSMD) -> List[str]:
+    pad = "                "
+    lines = [f"{pad}{state_bits}'d{state.id}: begin  // {state.label}"]
+    printer = _ExprPrinter(_collect_producers(state.ops))
+    channel_op = state.channel_op()
+    guard = pad + "    "
+    body_pad = guard
+    if channel_op is not None:
+        chan = _net_name(channel_op.channel)  # type: ignore[arg-type]
+        if channel_op.kind is OpKind.SEND:
+            lines.append(f"{guard}{chan}_valid_out <= 1'b1;")
+            lines.append(
+                f"{guard}{chan}_data_out <="
+                f" {printer.operand(channel_op.operands[0])};"
+            )
+            lines.append(f"{guard}if ({chan}_ready_out) begin")
+        else:
+            lines.append(f"{guard}{chan}_ready_in <= 1'b1;")
+            lines.append(f"{guard}if ({chan}_valid_in) begin")
+        body_pad = guard + "    "
+    for op in state.ops:
+        if op.kind is OpKind.STORE:
+            assert op.array is not None
+            lines.append(
+                f"{body_pad}{_net_name(op.array)}"
+                f"[{printer.operand(op.operands[0])}] <="
+                f" {printer.operand(op.operands[1])};"
+            )
+    for symbol, value in state.latches.items():
+        lines.append(f"{body_pad}{_net_name(symbol)} <= {printer.operand(value)};")
+    lines.extend(_emit_transition(state.transition, printer, state_bits, body_pad))
+    if channel_op is not None:
+        lines.append(f"{guard}end")
+    lines.append(f"{pad}end")
+    return lines
+
+
+def _emit_transition(transition, printer: _ExprPrinter, state_bits: int,
+                     pad: str) -> List[str]:
+    if isinstance(transition, NextState):
+        return [f"{pad}state <= {state_bits}'d{transition.target};"]
+    if isinstance(transition, Done):
+        lines = [f"{pad}done <= 1'b1;"]
+        if transition.value is not None:
+            lines.append(f"{pad}result <= {printer.operand(transition.value)};")
+        return lines
+    if isinstance(transition, CondNext):
+        lines = [f"{pad}if ({printer.operand(transition.cond)}) begin"]
+        lines += _emit_arm(transition.if_true, printer, state_bits, pad + "    ")
+        lines.append(f"{pad}end else begin")
+        lines += _emit_arm(transition.if_false, printer, state_bits, pad + "    ")
+        lines.append(f"{pad}end")
+        return lines
+    return [f"{pad}// no transition"]
+
+
+def _emit_arm(arm, printer: _ExprPrinter, state_bits: int, pad: str) -> List[str]:
+    if isinstance(arm, int):
+        return [f"{pad}state <= {state_bits}'d{arm};"]
+    return _emit_transition(arm, printer, state_bits, pad)
+
+
+def emit_fsmd_system(system: FSMDSystem, top_name: str = "top") -> str:
+    """All machines of a system, plus a comment header describing the
+    shared channels (the interconnect a system integrator would wire)."""
+    parts = [
+        "// Generated by repro — C-like hardware synthesis framework",
+        f"// {len(system.fsmds)} machine(s);"
+        f" {len(system.channels)} rendezvous channel(s)",
+        "",
+    ]
+    for fsmd in system.fsmds:
+        parts.append(emit_fsmd(fsmd))
+        parts.append("")
+    return "\n".join(parts)
+
+
+def emit_combinational(netlist: CombinationalNetlist,
+                       module_name: Optional[str] = None) -> str:
+    """A Cones netlist as a module of continuous assignments."""
+    name = module_name or f"cones_{netlist.name}"
+    lines: List[str] = []
+    ports: List[str] = []
+    for symbol in netlist.inputs:
+        width = _width_of(symbol.type)
+        ports.append(f"input wire [{width - 1}:0] {_net_name(symbol)}")
+    for array, elements in netlist.element_inputs.items():
+        for element in elements:
+            width = _width_of(element.type)
+            ports.append(f"input wire [{width - 1}:0] {_net_name(element)}")
+    out_width = (
+        _width_of(netlist.output.type) if netlist.output is not None else 32
+    )
+    ports.append(f"output wire [{out_width - 1}:0] out")
+    for symbol in netlist.global_outputs:
+        width = _width_of(symbol.type)
+        ports.append(f"output wire [{width - 1}:0] g_{_net_name(symbol)}")
+    lines.append(f"module {name} (")
+    lines.append("    " + ",\n    ".join(ports))
+    lines.append(");")
+    # Wire per op result, assigned in topological order.
+    for op in netlist.ops:
+        if op.dest is None:
+            continue
+        width = _width_of(op.dest.type)
+        lines.append(f"    wire [{width - 1}:0] n{op.dest.id};")
+
+    def leaf(operand: Operand) -> str:
+        if isinstance(operand, Const):
+            width = _width_of(operand.type)
+            if operand.value < 0:
+                return f"-{width}'sd{abs(operand.value)}"
+            return f"{width}'d{operand.value}"
+        if isinstance(operand, VarRead):
+            return _net_name(operand.var)
+        return f"n{operand.id}"
+
+    for op in netlist.ops:
+        if op.dest is None:
+            continue
+        if op.kind is OpKind.BINARY:
+            text = (
+                f"{leaf(op.operands[0])} {_BINARY_VERILOG[op.op]}"
+                f" {leaf(op.operands[1])}"
+            )
+        elif op.kind is OpKind.UNARY:
+            mapping = {"-": "-", "~": "~", "!": "!"}
+            text = f"{mapping[op.op]}{leaf(op.operands[0])}"
+        elif op.kind is OpKind.CAST:
+            text = leaf(op.operands[0])
+        elif op.kind is OpKind.SELECT:
+            text = (
+                f"{leaf(op.operands[0])} ? {leaf(op.operands[1])} :"
+                f" {leaf(op.operands[2])}"
+            )
+        else:
+            text = "0 /* unsupported */"
+        lines.append(f"    assign n{op.dest.id} = {text};")
+    if netlist.output is not None:
+        lines.append(f"    assign out = {leaf(netlist.output)};")
+    for symbol, operand in netlist.global_outputs.items():
+        lines.append(f"    assign g_{_net_name(symbol)} = {leaf(operand)};")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def emit_fsmd_testbench(
+    fsmd: FSMD,
+    args: List[int],
+    expected_value: Optional[int],
+    expected_cycles: Optional[int] = None,
+    module_name: Optional[str] = None,
+) -> str:
+    """A self-checking testbench for one FSMD.
+
+    The expected value comes from the golden model, so the generated pair
+    (module + testbench) carries this framework's validation chain into
+    any external Verilog simulator.  Designs with rendezvous channels need
+    a system-level harness instead and are rejected here.
+    """
+    for state in fsmd.states:
+        if state.channel_op() is not None:
+            raise ValueError(
+                "testbench generation covers single closed machines;"
+                f" {fsmd.name} uses rendezvous channels"
+            )
+    dut = module_name or f"fsmd_{fsmd.name}"
+    scalar_params = [p for p in fsmd.params if not isinstance(p.type, ArrayType)]
+    if len(args) != len(scalar_params):
+        raise ValueError(
+            f"{fsmd.name} takes {len(scalar_params)} arguments, got {len(args)}"
+        )
+    result_width = (
+        _width_of(fsmd.return_type) if fsmd.return_type is not None else 32
+    )
+    lines = [
+        "`timescale 1ns/1ps",
+        f"module tb_{fsmd.name};",
+        "    reg clk = 1'b0;",
+        "    reg rst = 1'b1;",
+        "    wire done;",
+        f"    wire [{result_width - 1}:0] result;",
+        "    integer cycles = 0;",
+    ]
+    port_binds = ["        .clk(clk),", "        .rst(rst),"]
+    for param, value in zip(scalar_params, args):
+        width = _width_of(param.type)
+        name = _net_name(param)
+        masked = value & ((1 << width) - 1)
+        lines.append(f"    reg [{width - 1}:0] arg_{name} = {width}'d{masked};")
+        port_binds.append(f"        .arg_{name}(arg_{name}),")
+    port_binds.append("        .done(done),")
+    port_binds.append("        .result(result)")
+    lines.append(f"    {dut} dut (")
+    lines.extend(port_binds)
+    lines.append("    );")
+    lines.append("    always #5 clk = ~clk;")
+    lines.append("    always @(posedge clk) if (!rst && !done) cycles = cycles + 1;")
+    lines.append("    initial begin")
+    lines.append("        repeat (2) @(posedge clk);")
+    lines.append("        rst = 1'b0;")
+    lines.append("        wait (done);")
+    lines.append("        @(posedge clk);")
+    if expected_value is not None:
+        expected_masked = expected_value & ((1 << result_width) - 1)
+        lines.append(
+            f"        if (result !== {result_width}'d{expected_masked}) begin"
+        )
+        lines.append(
+            f'            $display("FAIL: result=%0d expected={expected_value}",'
+            " result);"
+        )
+        lines.append("            $fatal;")
+        lines.append("        end")
+    if expected_cycles is not None:
+        lines.append(f"        if (cycles !== {expected_cycles})")
+        lines.append(
+            f'            $display("NOTE: cycles=%0d, model said'
+            f' {expected_cycles}", cycles);'
+        )
+    lines.append('        $display("PASS");')
+    lines.append("        $finish;")
+    lines.append("    end")
+    lines.append("endmodule")
+    return "\n".join(lines)

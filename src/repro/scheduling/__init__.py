@@ -1,0 +1,76 @@
+"""Schedulers: the behavioral-synthesis substrate.
+
+* :mod:`.list_scheduler` — chained, resource- and constraint-aware list
+  scheduling (used by the scheduled flows);
+* :mod:`.asap` — ASAP/ALAP bounds in the unit model;
+* :mod:`.force_directed` — Paulin/Knight force-directed scheduling;
+* :mod:`.modulo` — iterative modulo scheduling for loop pipelining;
+* :mod:`.resources` — functional-unit classes and limits;
+* :mod:`.base` — dependence graphs, schedule containers, validation.
+"""
+
+from .asap import mobility, unit_alap, unit_asap
+from .base import (
+    BlockSchedule,
+    ConstraintInfeasible,
+    DependenceGraph,
+    FunctionSchedule,
+    ScheduleError,
+    build_dependence_graph,
+    check_block_schedule,
+    is_chainable,
+    unit_latency,
+)
+from .force_directed import force_directed_schedule, peak_usage
+from .list_scheduler import list_schedule_block, list_schedule_function
+from .modulo import (
+    ModuloResult,
+    find_pipelineable_loops,
+    loop_carried_dependences,
+    modulo_schedule,
+    recurrence_mii,
+    resource_mii,
+)
+from .resources import (
+    ALU,
+    DIVIDER,
+    MULTIPLIER,
+    ResourceSet,
+    SHIFTER,
+    classify,
+    op_area_ge,
+    op_delay_ns,
+)
+
+__all__ = [
+    "ALU",
+    "BlockSchedule",
+    "ConstraintInfeasible",
+    "DIVIDER",
+    "DependenceGraph",
+    "FunctionSchedule",
+    "MULTIPLIER",
+    "ModuloResult",
+    "ResourceSet",
+    "SHIFTER",
+    "ScheduleError",
+    "build_dependence_graph",
+    "check_block_schedule",
+    "classify",
+    "find_pipelineable_loops",
+    "force_directed_schedule",
+    "is_chainable",
+    "list_schedule_block",
+    "list_schedule_function",
+    "loop_carried_dependences",
+    "mobility",
+    "modulo_schedule",
+    "op_area_ge",
+    "op_delay_ns",
+    "peak_usage",
+    "recurrence_mii",
+    "resource_mii",
+    "unit_alap",
+    "unit_asap",
+    "unit_latency",
+]

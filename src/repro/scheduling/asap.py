@@ -1,0 +1,99 @@
+"""ASAP and ALAP scheduling in the unit-latency model.
+
+These are the textbook bounds every other scheduler is measured against:
+ASAP gives each operation its earliest dependence-feasible step (and hence
+the critical path length), ALAP its latest within a target length.  The
+mobility (ALAP − ASAP) feeds force-directed scheduling, and the ASAP step
+histogram is exactly the "available ILP" profile of the block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.cdfg import BasicBlock
+from .base import (
+    BlockSchedule,
+    DependenceGraph,
+    ScheduleError,
+    build_dependence_graph,
+    unit_latency,
+)
+
+
+def unit_asap(
+    block: BasicBlock, graph: Optional[DependenceGraph] = None
+) -> BlockSchedule:
+    """Earliest-step schedule, unlimited resources, unit latencies."""
+    graph = graph or build_dependence_graph(block)
+    by_id = {op.id: op for op in block.ops}
+    step: Dict[int, int] = {}
+    remaining = {op.id: len(graph.predecessors(op)) for op in block.ops}
+    ready = [op for op in block.ops if remaining[op.id] == 0]
+    for op in ready:
+        step[op.id] = 0
+    queue = list(ready)
+    scheduled = 0
+    while queue:
+        op = queue.pop(0)
+        scheduled += 1
+        finish = step[op.id] + unit_latency(op)
+        for succ_id in sorted(graph.successors(op)):
+            step[succ_id] = max(step.get(succ_id, 0), finish)
+            remaining[succ_id] -= 1
+            if remaining[succ_id] == 0:
+                queue.append(by_id[succ_id])
+    if scheduled != len(block.ops):
+        raise ScheduleError("dependence cycle in ASAP scheduling")
+    n_steps = 1
+    for op in block.ops:
+        n_steps = max(n_steps, step[op.id] + max(unit_latency(op), 1))
+    return BlockSchedule(block=block, op_step=step, n_steps=n_steps)
+
+
+def unit_alap(
+    block: BasicBlock,
+    length: Optional[int] = None,
+    graph: Optional[DependenceGraph] = None,
+) -> BlockSchedule:
+    """Latest-step schedule within ``length`` steps (default: the ASAP
+    critical path, i.e. zero slack on the critical path)."""
+    graph = graph or build_dependence_graph(block)
+    if length is None:
+        length = unit_asap(block, graph).n_steps
+    by_id = {op.id: op for op in block.ops}
+    # Latest finish then work backwards: op_step = latest_finish - latency.
+    late: Dict[int, int] = {}
+    remaining = {op.id: len(graph.successors(op)) for op in block.ops}
+    queue = [op for op in block.ops if remaining[op.id] == 0]
+    for op in queue:
+        late[op.id] = length - max(unit_latency(op), 1)
+    queue = list(queue)
+    processed = 0
+    while queue:
+        op = queue.pop(0)
+        processed += 1
+        for pred_id in sorted(graph.predecessors(op)):
+            pred = by_id[pred_id]
+            # pred must finish by op's step: pred_step + latency <= op_step;
+            # zero-latency preds (casts) may share op's step.
+            bound = late[op.id] - unit_latency(pred)
+            late[pred_id] = min(late.get(pred_id, bound), bound)
+            remaining[pred_id] -= 1
+            if remaining[pred_id] == 0:
+                queue.append(pred)
+    if processed != len(block.ops):
+        raise ScheduleError("dependence cycle in ALAP scheduling")
+    if any(s < 0 for s in late.values()):
+        raise ScheduleError(f"target length {length} is below the critical path")
+    return BlockSchedule(block=block, op_step=late, n_steps=length)
+
+
+def mobility(block: BasicBlock, length: Optional[int] = None) -> Dict[int, int]:
+    """Per-op slack (ALAP − ASAP) — the scheduling freedom FDS exploits."""
+    graph = build_dependence_graph(block)
+    asap = unit_asap(block, graph)
+    alap = unit_alap(block, length or asap.n_steps, graph)
+    return {
+        op.id: alap.op_step[op.id] - asap.op_step[op.id] for op in block.ops
+    }

@@ -1,0 +1,316 @@
+"""Resource-constrained list scheduling with operator chaining.
+
+This is the workhorse scheduler behind the scheduled flows (HardwareC,
+Bach C, C2Verilog, SpecC): critical-path-priority list scheduling in which
+
+* operators chain combinationally within a control step while the running
+  path delay fits in the clock period (technology model delays);
+* slow operators (dividers at short clocks) become multi-cycle, holding
+  their functional unit for several steps;
+* per-step functional-unit limits come from a
+  :class:`~repro.scheduling.resources.ResourceSet`;
+* ``wait``/``delay``/``send``/``recv`` occupy steps of their own (they
+  gate the FSM);
+* HardwareC ``within`` groups are enforced greedily — members are boosted
+  to maximum priority once their group opens, and an unmeetable bound
+  raises :class:`ConstraintInfeasible`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.cdfg import BasicBlock, FunctionCDFG
+from ..ir.ops import Operation, OpKind
+from ..rtl.tech import DEFAULT_TECH, Technology
+from .base import (
+    BlockSchedule,
+    ConstraintInfeasible,
+    DependenceGraph,
+    FunctionSchedule,
+    ScheduleError,
+    build_dependence_graph,
+    chained_steps,
+    is_chainable,
+)
+from .resources import FREE, ResourceSet, classify, op_delay_ns
+
+_EXCLUSIVE_KINDS = (OpKind.BARRIER, OpKind.DELAY, OpKind.SEND, OpKind.RECV)
+
+
+def _priorities(graph: DependenceGraph, tech: Technology) -> Dict[int, float]:
+    """Critical-path priority: the longest delay-weighted path from each op
+    to any sink.  Computed in reverse topological order."""
+    order = _topological(graph)
+    priority: Dict[int, float] = {}
+    by_id = {op.id: op for op in graph.ops}
+    for op in reversed(order):
+        succ_max = 0.0
+        for succ_id in graph.successors(op):
+            succ_max = max(succ_max, priority[succ_id])
+        priority[op.id] = op_delay_ns(op, tech) + succ_max
+    return priority
+
+
+def _topological(graph: DependenceGraph) -> List[Operation]:
+    remaining = {op.id: len(graph.predecessors(op)) for op in graph.ops}
+    by_id = {op.id: op for op in graph.ops}
+    ready = [op for op in graph.ops if remaining[op.id] == 0]
+    order: List[Operation] = []
+    while ready:
+        op = ready.pop(0)
+        order.append(op)
+        for succ_id in sorted(graph.successors(op)):
+            remaining[succ_id] -= 1
+            if remaining[succ_id] == 0:
+                ready.append(by_id[succ_id])
+    if len(order) != len(graph.ops):
+        raise ScheduleError("dependence graph has a cycle")
+    return order
+
+
+class _ListScheduler:
+    def __init__(
+        self,
+        block: BasicBlock,
+        resources: ResourceSet,
+        tech: Technology,
+        clock_ns: float,
+        constraints: Optional[Dict[int, int]],
+    ):
+        self.block = block
+        self.resources = resources
+        self.tech = tech
+        self.clock_ns = clock_ns
+        self.constraints = constraints or {}
+        self.graph = build_dependence_graph(block)
+        self.priority = _priorities(self.graph, tech)
+        self.by_id = {op.id: op for op in block.ops}
+        # Results
+        self.op_step: Dict[int, int] = {}
+        self.op_start: Dict[int, float] = {}
+        self.op_finish: Dict[int, float] = {}
+        # Step occupancy
+        self.usage: Dict[int, Dict[str, int]] = {}       # step -> class -> count
+        self.step_has_ops: Set[int] = set()
+        self.exclusive_steps: Set[int] = set()
+        self.group_first_step: Dict[int, int] = {}
+
+    # -- readiness ----------------------------------------------------------
+
+    def _pred_ready(self, op: Operation, step: int) -> Optional[float]:
+        """If all predecessors allow ``op`` to start in ``step``, the
+        earliest start time (ns within the step); otherwise None."""
+        start = 0.0
+        for pred_id in self.graph.predecessors(op):
+            if pred_id not in self.op_step:
+                return None
+            pred = self.by_id[pred_id]
+            pred_step = self.op_step[pred_id]
+            pred_span = chained_steps(pred, self.clock_ns, self.tech)
+            if pred_span > 1 or not is_chainable(pred):
+                earliest = pred_step + pred_span
+                if step < earliest:
+                    return None
+            else:
+                if step < pred_step:
+                    return None
+                if step == pred_step:
+                    start = max(start, self.op_finish[pred_id])
+        return start
+
+    def _resource_free(self, op: Operation, step: int, span: int) -> bool:
+        resource = classify(op)
+        if resource == FREE:
+            return True
+        limit = self.resources.limit(resource)
+        if limit is None:
+            return True
+        for s in range(step, step + span):
+            if self.usage.get(s, {}).get(resource, 0) >= limit:
+                return False
+        return True
+
+    def _occupy(self, op: Operation, step: int, span: int) -> None:
+        resource = classify(op)
+        for s in range(step, step + span):
+            self.step_has_ops.add(s)
+            if resource != FREE:
+                counts = self.usage.setdefault(s, {})
+                counts[resource] = counts.get(resource, 0) + 1
+
+    # -- constraint groups ---------------------------------------------------
+
+    def _constraint_deadline(self, op: Operation) -> Optional[int]:
+        if op.constraint is None or op.constraint not in self.constraints:
+            return None
+        first = self.group_first_step.get(op.constraint)
+        if first is None:
+            return None
+        return first + self.constraints[op.constraint] - 1
+
+    def _note_group(self, op: Operation, step: int) -> None:
+        if op.constraint is not None and op.constraint in self.constraints:
+            self.group_first_step.setdefault(op.constraint, step)
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> BlockSchedule:
+        unscheduled: Set[int] = {op.id for op in self.block.ops}
+        step = 0
+        # Generous upper bound: every op alone in a step, plus delays.
+        budget = 4 * (len(self.block.ops) + 4)
+        for op in self.block.ops:
+            if op.kind is OpKind.DELAY:
+                budget += op.cycles
+            if op.kind is OpKind.BINARY and op.op in ("/", "%"):
+                budget += chained_steps(op, self.clock_ns, self.tech)
+        while unscheduled:
+            if step > budget:
+                raise ScheduleError(
+                    f"scheduler made no progress by step {step} in"
+                    f" {self.block.label}"
+                )
+            self._schedule_step(step, unscheduled)
+            step += 1
+        n_steps = 1
+        for op_id, s in self.op_step.items():
+            op = self.by_id[op_id]
+            span = self._span(op)
+            n_steps = max(n_steps, s + span)
+        schedule = BlockSchedule(
+            block=self.block,
+            op_step=self.op_step,
+            n_steps=n_steps,
+            op_start_ns=self.op_start,
+            op_finish_ns=self.op_finish,
+        )
+        self._verify_constraints(schedule)
+        return schedule
+
+    def _span(self, op: Operation) -> int:
+        if op.kind is OpKind.DELAY:
+            return max(op.cycles, 1)
+        return chained_steps(op, self.clock_ns, self.tech)
+
+    def _schedule_step(self, step: int, unscheduled: Set[int]) -> None:
+        if step in self.exclusive_steps:
+            return
+        # Iterate to a fixpoint within the step: placing an op can make its
+        # dependents chainable into the very same step.
+        while self._schedule_step_pass(step, unscheduled):
+            pass
+
+    def _schedule_step_pass(self, step: int, unscheduled: Set[int]) -> bool:
+        placed_any = False
+        candidates = [
+            self.by_id[op_id]
+            for op_id in unscheduled
+            if self._pred_ready(self.by_id[op_id], step) is not None
+        ]
+        # Boost members of open constraint groups so they land before their
+        # deadline; then critical path; ties broken by program order.
+        def sort_key(op: Operation):
+            deadline = self._constraint_deadline(op)
+            urgent = 0 if deadline is not None else 1
+            return (urgent, -self.priority[op.id], op.id)
+
+        candidates.sort(key=sort_key)
+        for op in candidates:
+            if op.id not in unscheduled:
+                continue
+            deadline = self._constraint_deadline(op)
+            if deadline is not None and step > deadline:
+                raise ConstraintInfeasible(
+                    f"within group {op.constraint} cannot finish within"
+                    f" {self.constraints[op.constraint]} cycles"
+                    f" ({op} would land at step {step}, deadline {deadline})"
+                )
+            if op.kind in _EXCLUSIVE_KINDS:
+                before = len(unscheduled)
+                self._try_exclusive(op, step, unscheduled)
+                if len(unscheduled) != before:
+                    placed_any = True
+                continue
+            start = self._pred_ready(op, step)
+            assert start is not None
+            delay = op_delay_ns(op, self.tech)
+            span = self._span(op)
+            if span == 1:
+                if start + delay > self.clock_ns:
+                    continue  # does not fit this step; retried later
+            else:
+                if start > 0.0:
+                    continue  # multi-cycle ops start on a fresh step
+            if any(s in self.exclusive_steps for s in range(step, step + span)):
+                continue
+            if not self._resource_free(op, step, span):
+                continue
+            self.op_step[op.id] = step
+            self.op_start[op.id] = start
+            self.op_finish[op.id] = start + delay if span == 1 else delay
+            self._occupy(op, step, span)
+            self._note_group(op, step)
+            unscheduled.discard(op.id)
+            placed_any = True
+        return placed_any
+
+    def _try_exclusive(self, op: Operation, step: int, unscheduled: Set[int]) -> None:
+        """Barriers, delays, and channel ops own their step(s) outright."""
+        span = max(op.cycles, 1) if op.kind is OpKind.DELAY else 1
+        steps = range(step, step + span)
+        if any(s in self.step_has_ops or s in self.exclusive_steps for s in steps):
+            return  # wait for an empty step
+        self.op_step[op.id] = step
+        self.op_start[op.id] = 0.0
+        self.op_finish[op.id] = op_delay_ns(op, self.tech)
+        for s in steps:
+            self.exclusive_steps.add(s)
+            self.step_has_ops.add(s)
+        self._note_group(op, step)
+        unscheduled.discard(op.id)
+
+    def _verify_constraints(self, schedule: BlockSchedule) -> None:
+        spans: Dict[int, List[int]] = {}
+        for op in self.block.ops:
+            if op.constraint is not None and op.constraint in self.constraints:
+                spans.setdefault(op.constraint, []).append(schedule.op_step[op.id])
+        for group, steps in spans.items():
+            used = max(steps) - min(steps) + 1
+            if used > self.constraints[group]:
+                raise ConstraintInfeasible(
+                    f"within group {group} used {used} steps"
+                    f" (budget {self.constraints[group]})"
+                )
+
+
+def list_schedule_block(
+    block: BasicBlock,
+    resources: Optional[ResourceSet] = None,
+    tech: Technology = DEFAULT_TECH,
+    clock_ns: float = 5.0,
+    constraints: Optional[Dict[int, int]] = None,
+) -> BlockSchedule:
+    """Schedule one block.  ``constraints`` maps within-group ids to cycle
+    budgets."""
+    resources = resources or ResourceSet.unlimited()
+    return _ListScheduler(block, resources, tech, clock_ns, constraints).run()
+
+
+def list_schedule_function(
+    cdfg: FunctionCDFG,
+    resources: Optional[ResourceSet] = None,
+    tech: Technology = DEFAULT_TECH,
+    clock_ns: float = 5.0,
+) -> FunctionSchedule:
+    """Schedule every reachable block of a function."""
+    resources = resources or ResourceSet.unlimited()
+    constraints = {c.group: c.cycles for c in cdfg.constraints}
+    schedule = FunctionSchedule(
+        cdfg=cdfg, clock_ns=clock_ns, scheduler="list", resources=resources
+    )
+    for block in cdfg.reachable_blocks():
+        schedule.blocks[block.id] = list_schedule_block(
+            block, resources, tech, clock_ns, constraints
+        )
+    return schedule

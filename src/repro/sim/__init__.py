@@ -1,0 +1,6 @@
+"""Hardware simulators: cycle-accurate FSMD systems, combinational
+netlists, and asynchronous token dataflow."""
+
+from .fsmd_sim import FSMDSimulator, SimResult, SimulationError, simulate
+
+__all__ = ["FSMDSimulator", "SimResult", "SimulationError", "simulate"]

@@ -1,0 +1,224 @@
+"""Asynchronous dataflow simulation — the CASH timing model.
+
+CASH (Budiu & Goldstein) compiles ANSI C into *asynchronous* dataflow
+circuits: no clock; each operator fires when its input tokens arrive,
+after its own propagation delay plus a handshake overhead.  This simulator
+executes a CDFG under exactly that discipline:
+
+* a value's timestamp is when its producing operator finished;
+* an operator starts at the max of its operands' timestamps (and the
+  control token's, since an operation fires only once its basic block's
+  branch has resolved — the steer/eta nodes of the Pegasus IR);
+* memory operations additionally serialize through their memory's
+  load/store queue;
+* register (variable) timestamps carry across blocks — tokens, not clocked
+  latches.
+
+Functional results are computed with the same shared machine arithmetic as
+every other backend, so CASH designs are validated against the golden model
+just like synchronous ones, while the *completion time* reflects the
+dataflow critical path instead of a cycle count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..interp.machine import eval_binary, eval_unary, wrap
+from ..lang.errors import InterpError
+from ..lang.symtab import Symbol
+from ..lang.types import ArrayType
+from ..ir.cdfg import FunctionCDFG
+from ..ir.ops import Branch, Const, Jump, Operand, Operation, OpKind, Ret, VReg, VarRead
+from ..rtl.tech import DEFAULT_TECH, Technology
+from ..scheduling.resources import op_delay_ns
+
+
+@dataclass
+class AsyncResult:
+    value: Optional[int]
+    completion_ns: float
+    ops_fired: int
+    busy_ns: float
+    registers: Dict[str, int] = field(default_factory=dict)
+    memories: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def average_parallelism(self) -> float:
+        """Mean number of operators computing simultaneously."""
+        if self.completion_ns <= 0:
+            return 0.0
+        return self.busy_ns / self.completion_ns
+
+
+class AsyncSimulator:
+    """Token-timed execution of one CDFG (no channels: CASH is plain C)."""
+
+    def __init__(
+        self,
+        cdfg: FunctionCDFG,
+        args: Sequence[int] = (),
+        register_init: Optional[Dict[Symbol, int]] = None,
+        memory_init: Optional[Dict[Symbol, List[int]]] = None,
+        tech: Technology = DEFAULT_TECH,
+        max_blocks: int = 1_000_000,
+    ):
+        self.cdfg = cdfg
+        self.tech = tech
+        self.max_blocks = max_blocks
+        self.registers: Dict[Symbol, int] = {s: 0 for s in cdfg.registers}
+        self.reg_time: Dict[Symbol, float] = {s: 0.0 for s in cdfg.registers}
+        self.memories: Dict[Symbol, List[int]] = {}
+        self.mem_time: Dict[Symbol, float] = {}
+        for array in cdfg.arrays:
+            assert isinstance(array.type, ArrayType)
+            self.memories[array] = [0] * array.type.size
+            self.mem_time[array] = 0.0
+        if register_init:
+            for symbol, value in register_init.items():
+                self.registers[symbol] = wrap(value, symbol.type)
+        if memory_init:
+            for symbol, values in memory_init.items():
+                words = self.memories.setdefault(symbol, [0] * len(values))
+                for i, v in enumerate(values):
+                    words[i] = v
+        scalar_params = [p for p in cdfg.params if not isinstance(p.type, ArrayType)]
+        if len(args) != len(scalar_params):
+            raise InterpError(
+                f"{cdfg.name} expects {len(scalar_params)} scalar arguments,"
+                f" got {len(args)}"
+            )
+        for symbol, value in zip(scalar_params, args):
+            self.registers[symbol] = wrap(value, symbol.type)
+        self.ops_fired = 0
+        self.busy_ns = 0.0
+
+    def run(self) -> AsyncResult:
+        block = self.cdfg.entry
+        assert block is not None
+        control_time = 0.0
+        completion = 0.0
+        blocks_executed = 0
+        handshake = self.tech.handshake_overhead_ns
+        return_value: Optional[int] = None
+        while True:
+            blocks_executed += 1
+            if blocks_executed > self.max_blocks:
+                raise InterpError(
+                    f"block budget of {self.max_blocks} exceeded in {self.cdfg.name}"
+                )
+            values: Dict[VReg, int] = {}
+            times: Dict[VReg, float] = {}
+
+            def read(operand: Operand) -> int:
+                if isinstance(operand, Const):
+                    return operand.value
+                if isinstance(operand, VarRead):
+                    return self.registers.get(operand.var, 0)
+                return values[operand]
+
+            def ready(operand: Operand) -> float:
+                if isinstance(operand, Const):
+                    return control_time
+                if isinstance(operand, VarRead):
+                    return max(control_time, self.reg_time.get(operand.var, 0.0))
+                return times[operand]
+
+            for op in block.ops:
+                start = control_time
+                for operand in op.operands:
+                    start = max(start, ready(operand))
+                if op.is_memory():
+                    assert op.array is not None
+                    start = max(start, self.mem_time[op.array])
+                delay = op_delay_ns(op, self.tech) + handshake
+                finish = start + delay
+                self.ops_fired += 1
+                self.busy_ns += delay
+                self._fire(op, values, read)
+                if op.dest is not None:
+                    times[op.dest] = finish
+                if op.is_memory():
+                    assert op.array is not None
+                    self.mem_time[op.array] = finish
+                completion = max(completion, finish)
+            # Latch atomically: all reads see pre-latch register values.
+            latched = [
+                (var, read(value), max(control_time, ready(value)))
+                for var, value in block.var_writes.items()
+            ]
+            for var, raw, when in latched:
+                self.registers[var] = wrap(raw, var.type)
+                self.reg_time[var] = when
+                completion = max(completion, when)
+            terminator = block.terminator
+            if isinstance(terminator, Jump):
+                block = terminator.target
+                control_time += handshake
+            elif isinstance(terminator, Branch):
+                cond_value = read(terminator.cond)
+                control_time = max(control_time, ready(terminator.cond)) + handshake
+                block = terminator.if_true if cond_value else terminator.if_false
+            elif isinstance(terminator, Ret):
+                if terminator.value is not None:
+                    raw = read(terminator.value)
+                    return_value = (
+                        wrap(raw, self.cdfg.return_type)
+                        if self.cdfg.return_type.bit_width
+                        else raw
+                    )
+                    completion = max(completion, ready(terminator.value))
+                return AsyncResult(
+                    value=return_value,
+                    completion_ns=max(completion, control_time),
+                    ops_fired=self.ops_fired,
+                    busy_ns=self.busy_ns,
+                    registers={
+                        s.unique_name: v for s, v in self.registers.items()
+                    },
+                    memories={
+                        s.unique_name: list(v) for s, v in self.memories.items()
+                    },
+                )
+            else:
+                raise InterpError(f"block {block.label} has no terminator")
+
+    def _fire(self, op: Operation, values: Dict[VReg, int], read) -> None:
+        if op.kind is OpKind.BINARY:
+            assert op.dest is not None
+            values[op.dest] = eval_binary(
+                op.op, read(op.operands[0]), read(op.operands[1]), op.dest.type
+            )
+        elif op.kind is OpKind.UNARY:
+            assert op.dest is not None
+            values[op.dest] = eval_unary(op.op, read(op.operands[0]), op.dest.type)
+        elif op.kind is OpKind.CAST:
+            assert op.dest is not None
+            values[op.dest] = wrap(read(op.operands[0]), op.dest.type)
+        elif op.kind is OpKind.SELECT:
+            assert op.dest is not None
+            chosen = read(op.operands[1]) if read(op.operands[0]) else read(op.operands[2])
+            values[op.dest] = wrap(chosen, op.dest.type)
+        elif op.kind is OpKind.LOAD:
+            assert op.dest is not None and op.array is not None
+            memory = self.memories[op.array]
+            index = read(op.operands[0])
+            if not 0 <= index < len(memory):
+                raise InterpError(
+                    f"load {op.array.unique_name}[{index}] out of bounds"
+                )
+            values[op.dest] = memory[index]
+        elif op.kind is OpKind.STORE:
+            assert op.array is not None
+            memory = self.memories[op.array]
+            index = read(op.operands[0])
+            if not 0 <= index < len(memory):
+                raise InterpError(
+                    f"store {op.array.unique_name}[{index}] out of bounds"
+                )
+            memory[index] = read(op.operands[1])
+        elif op.kind in (OpKind.BARRIER, OpKind.DELAY, OpKind.NOP):
+            pass
+        else:
+            raise InterpError(f"asynchronous dataflow cannot execute {op.kind}")

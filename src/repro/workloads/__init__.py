@@ -1,0 +1,36 @@
+"""Workloads: the benchmark kernel suite, recoding variants, and the
+synthetic program generator."""
+
+from .generator import array_source, control_source, dataflow_source
+from .suite import (
+    BY_NAME,
+    CHANNEL,
+    CONTROL,
+    MEMORY,
+    POINTER,
+    REGULAR,
+    WORKLOADS,
+    Workload,
+    by_category,
+    get,
+)
+from .variants import RECODING_PAIRS, RecodingPair, unrolled_program
+
+__all__ = [
+    "BY_NAME",
+    "CHANNEL",
+    "CONTROL",
+    "MEMORY",
+    "POINTER",
+    "REGULAR",
+    "RECODING_PAIRS",
+    "RecodingPair",
+    "WORKLOADS",
+    "Workload",
+    "array_source",
+    "by_category",
+    "control_source",
+    "dataflow_source",
+    "get",
+    "unrolled_program",
+]

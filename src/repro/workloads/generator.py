@@ -1,0 +1,162 @@
+"""Deterministic synthetic workload generator.
+
+Produces valid programs from an integer seed — the fuel for property-based
+tests (every flow must agree with the interpreter on *any* generated
+program) and for scaling studies (ILP vs. block size).  All generated
+arithmetic avoids division so no run can trap; shifts are masked to
+well-defined amounts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+_SAFE_BINARY = ["+", "-", "*", "&", "|", "^"]
+_COMPARE = ["<", "<=", ">", ">=", "==", "!="]
+
+
+class _Generator:
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+        self.counter = 0
+
+    def fresh(self, prefix: str = "v") -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def expression(self, variables: List[str], depth: int) -> str:
+        if depth <= 0 or not variables or self.rng.random() < 0.3:
+            if variables and self.rng.random() < 0.7:
+                return self.rng.choice(variables)
+            return str(self.rng.randint(0, 255))
+        kind = self.rng.random()
+        if kind < 0.75:
+            op = self.rng.choice(_SAFE_BINARY)
+            left = self.expression(variables, depth - 1)
+            right = self.expression(variables, depth - 1)
+            return f"({left} {op} {right})"
+        if kind < 0.85:
+            amount = self.rng.randint(0, 7)
+            left = self.expression(variables, depth - 1)
+            direction = self.rng.choice(["<<", ">>"])
+            return f"({left} {direction} {amount})"
+        cond_op = self.rng.choice(_COMPARE)
+        a = self.expression(variables, depth - 1)
+        b = self.expression(variables, depth - 1)
+        t = self.expression(variables, depth - 1)
+        f = self.expression(variables, depth - 1)
+        return f"(({a} {cond_op} {b}) ? {t} : {f})"
+
+
+def dataflow_source(seed: int, statements: int = 12, depth: int = 3) -> str:
+    """A straight-line arithmetic kernel: declarations and reassignments
+    over scalars, returning a checksum.  Pure dataflow — the shape ILP
+    extraction likes."""
+    g = _Generator(seed)
+    variables: List[str] = []
+    lines = ["int main(int x, int y) {"]
+    variables += ["x", "y"]
+    for _ in range(statements):
+        if variables and g.rng.random() < 0.4:
+            target = g.rng.choice([v for v in variables if v not in ("x", "y")] or ["x"])
+            if target in ("x", "y"):
+                target = g.fresh()
+                lines.append(
+                    f"    int {target} = {g.expression(variables, depth)};"
+                )
+                variables.append(target)
+                continue
+            lines.append(f"    {target} = {g.expression(variables, depth)};")
+        else:
+            name = g.fresh()
+            lines.append(f"    int {name} = {g.expression(variables, depth)};")
+            variables.append(name)
+    checksum = " ^ ".join(variables)
+    lines.append(f"    return {checksum};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def control_source(seed: int, blocks: int = 4, depth: int = 2) -> str:
+    """A control-heavy kernel: bounded counted loops and nested
+    conditionals over an accumulator.  Always terminates (loop bounds are
+    literal constants)."""
+    g = _Generator(seed)
+    lines = ["int main(int x, int y) {", "    int acc = x ^ y;"]
+    variables = ["x", "y", "acc"]
+
+    def emit_block(indent: int, budget: int) -> None:
+        pad = "    " * indent
+        for _ in range(budget):
+            choice = g.rng.random()
+            if choice < 0.35 and indent < 4:
+                bound = g.rng.randint(2, 8)
+                loop_var = g.fresh("i")
+                lines.append(
+                    f"{pad}for (int {loop_var} = 0; {loop_var} < {bound};"
+                    f" {loop_var}++) {{"
+                )
+                inner_vars = variables + [loop_var]
+                lines.append(
+                    f"{pad}    acc = acc + {g.expression(inner_vars, depth)};"
+                )
+                if g.rng.random() < 0.5 and indent < 3:
+                    cond = (
+                        f"({g.expression(inner_vars, 1)}"
+                        f" {g.rng.choice(_COMPARE)}"
+                        f" {g.expression(inner_vars, 1)})"
+                    )
+                    lines.append(f"{pad}    if {cond} {{")
+                    lines.append(
+                        f"{pad}        acc = acc ^ {g.expression(inner_vars, depth)};"
+                    )
+                    lines.append(f"{pad}    }}")
+                lines.append(f"{pad}}}")
+            elif choice < 0.7:
+                cond = (
+                    f"({g.expression(variables, 1)}"
+                    f" {g.rng.choice(_COMPARE)}"
+                    f" {g.expression(variables, 1)})"
+                )
+                lines.append(f"{pad}if {cond} {{")
+                lines.append(
+                    f"{pad}    acc = acc - {g.expression(variables, depth)};"
+                )
+                lines.append(f"{pad}}} else {{")
+                lines.append(
+                    f"{pad}    acc = acc + {g.expression(variables, depth)};"
+                )
+                lines.append(f"{pad}}}")
+            else:
+                name = g.fresh()
+                lines.append(
+                    f"{pad}int {name} = {g.expression(variables, depth)};"
+                )
+                variables.append(name)
+
+    emit_block(1, blocks)
+    lines.append("    return acc;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def array_source(seed: int, size: int = 12, passes: int = 2) -> str:
+    """An array-walking kernel with data-dependent stores (memory shape)."""
+    g = _Generator(seed)
+    init = ", ".join(str(g.rng.randint(0, 63)) for _ in range(size))
+    lines = [
+        f"int buf[{size}] = {{{init}}};",
+        "int main(int x) {",
+        "    int acc = x;",
+    ]
+    for p in range(passes):
+        index_expr = g.rng.choice(["i", f"(i + {g.rng.randint(1, size - 1)}) % " + str(size)])
+        lines.append(f"    for (int i = 0; i < {size}; i++) {{")
+        lines.append(f"        int v = buf[{index_expr}];")
+        lines.append(f"        buf[i] = v + {g.expression(['v', 'acc', 'i'], 2)};")
+        lines.append("        acc = acc ^ buf[i];")
+        lines.append("    }")
+    lines.append("    return acc;")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,457 @@
+"""The workload suite.
+
+Kernels span the axes the paper's analysis moves along:
+
+* **regular** dataflow loops (FIR, dot product, matmul, DCT) — where
+  pipelining and ILP extraction shine;
+* **control**-dominated code (GCD, parser FSM, max search) — where they
+  don't;
+* **memory**-bound kernels (histogram, bubble sort, prefix sum) — where the
+  memory model decides the schedule;
+* **pointer** kernels — the C2Verilog/CASH territory;
+* **channel** programs (producer/consumer, pipelines) — the explicit
+  concurrency the CSP-flavoured languages were built for.
+
+Every kernel is plain source text: all flows see exactly the same program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+REGULAR = "regular"
+CONTROL = "control"
+MEMORY = "memory"
+POINTER = "pointer"
+CHANNEL = "channel"
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    category: str
+    description: str
+    source: str
+    args: Tuple[int, ...] = ()
+    # Whether loop bounds are compile-time constants (Cones eligibility).
+    static_bounds: bool = True
+    # Flows that cannot accept this workload for historical-feature reasons
+    # are discovered dynamically; nothing is hard-coded here.
+
+
+def _w(name, category, description, source, args=(), static_bounds=True) -> Workload:
+    return Workload(
+        name=name, category=category, description=description,
+        source=source, args=tuple(args), static_bounds=static_bounds,
+    )
+
+
+WORKLOADS: List[Workload] = [
+    _w(
+        "fir8", REGULAR,
+        "8-tap FIR filter over 32 samples (constant bounds)",
+        """
+int coeff[8] = {4, 11, 21, 27, 27, 21, 11, 4};
+int samples[32] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3,
+                   2, 3, 8, 4, 6, 2, 6, 4, 3, 3, 8, 3, 2, 7, 9, 5};
+int output[32];
+int main() {
+    int checksum = 0;
+    for (int n = 0; n < 32; n++) {
+        int acc = 0;
+        for (int k = 0; k < 8; k++) {
+            int idx = n - k;
+            int tap = 0;
+            if (idx >= 0) {
+                tap = samples[idx];
+            }
+            acc += tap * coeff[k];
+        }
+        output[n] = acc >> 4;
+        checksum += output[n];
+    }
+    return checksum;
+}
+""",
+    ),
+    _w(
+        "dot16", REGULAR,
+        "16-element dot product",
+        """
+int va[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+int vb[16] = {16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 16; i++) {
+        acc += va[i] * vb[i];
+    }
+    return acc;
+}
+""",
+    ),
+    _w(
+        "matmul4", REGULAR,
+        "4x4 integer matrix multiply (flattened arrays)",
+        """
+int ma[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+int mb[16] = {1, 0, 2, 0, 0, 1, 0, 2, 3, 0, 1, 0, 0, 3, 0, 1};
+int mc[16];
+int main() {
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 4; j++) {
+            int acc = 0;
+            for (int k = 0; k < 4; k++) {
+                acc += ma[i * 4 + k] * mb[k * 4 + j];
+            }
+            mc[i * 4 + j] = acc;
+        }
+    }
+    int trace = 0;
+    for (int d = 0; d < 4; d++) {
+        trace += mc[d * 4 + d];
+    }
+    return trace;
+}
+""",
+    ),
+    _w(
+        "dct8", REGULAR,
+        "8-point 1-D integer DCT (multiply-heavy)",
+        """
+int block[8] = {52, 55, 61, 66, 70, 61, 64, 73};
+int basis[64] = {
+    91,  91,  91,  91,  91,  91,  91,  91,
+   126, 106,  71,  25, -25, -71,-106,-126,
+   118,  49, -49,-118,-118, -49,  49, 118,
+   106, -25,-126, -71,  71, 126,  25,-106,
+    91, -91, -91,  91,  91, -91, -91,  91,
+    71,-126,  25, 106,-106, -25, 126, -71,
+    49,-118, 118, -49, -49, 118,-118,  49,
+    25, -71, 106,-126, 126,-106,  71, -25
+};
+int freq[8];
+int main() {
+    int checksum = 0;
+    for (int u = 0; u < 8; u++) {
+        int acc = 0;
+        for (int x = 0; x < 8; x++) {
+            acc += basis[u * 8 + x] * block[x];
+        }
+        freq[u] = acc >> 8;
+        checksum += freq[u];
+    }
+    return checksum;
+}
+""",
+    ),
+    _w(
+        "crc8", REGULAR,
+        "bitwise CRC-8 over a 16-byte message",
+        """
+int message[16] = {0x31, 0x32, 0x33, 0x34, 0x35, 0x36, 0x37, 0x38,
+                   0x39, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47};
+int main() {
+    uint8 crc = 0;
+    for (int i = 0; i < 16; i++) {
+        crc = crc ^ message[i];
+        for (int b = 0; b < 8; b++) {
+            uint8 top = crc & 0x80;
+            crc = crc << 1;
+            if (top != 0) {
+                crc = crc ^ 0x07;
+            }
+        }
+    }
+    return crc;
+}
+""",
+    ),
+    _w(
+        "gcd", CONTROL,
+        "Euclid's algorithm (data-dependent loop)",
+        """
+int main(int a, int b) {
+    while (b != 0) {
+        int t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+""",
+        args=(1071, 462),
+        static_bounds=False,
+    ),
+    _w(
+        "collatz", CONTROL,
+        "Collatz trajectory length (branchy, data-dependent)",
+        """
+int main(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) {
+            n = n / 2;
+        } else {
+            n = 3 * n + 1;
+        }
+        steps = steps + 1;
+    }
+    return steps;
+}
+""",
+        args=(27,),
+        static_bounds=False,
+    ),
+    _w(
+        "parser", CONTROL,
+        "token-counting FSM over a character buffer (parser-like control)",
+        """
+int text[24] = {32, 104, 105, 32, 32, 119, 111, 114, 108, 100, 32, 102,
+                111, 111, 32, 98, 97, 114, 32, 32, 98, 97, 122, 32};
+int main() {
+    int state = 0;
+    int words = 0;
+    int letters = 0;
+    for (int i = 0; i < 24; i++) {
+        int ch = text[i];
+        if (state == 0) {
+            if (ch != 32) {
+                state = 1;
+                words = words + 1;
+                letters = letters + 1;
+            }
+        } else {
+            if (ch == 32) {
+                state = 0;
+            } else {
+                letters = letters + 1;
+            }
+        }
+    }
+    return words * 100 + letters;
+}
+""",
+    ),
+    _w(
+        "maxsearch", CONTROL,
+        "argmax with data-dependent updates",
+        """
+int data[20] = {12, 7, 3, 19, 4, 19, 8, 1, 14, 6,
+                11, 2, 17, 9, 5, 13, 20, 18, 10, 15};
+int main() {
+    int best = 0 - 1000;
+    int best_index = 0;
+    for (int i = 0; i < 20; i++) {
+        if (data[i] > best) {
+            best = data[i];
+            best_index = i;
+        }
+    }
+    return best * 100 + best_index;
+}
+""",
+    ),
+    _w(
+        "histogram", MEMORY,
+        "16-bin histogram (read-modify-write recurrence)",
+        """
+int bins[16];
+int data[48] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3,
+                2, 3, 8, 4, 6, 2, 6, 4, 3, 3, 8, 3, 2, 7, 9, 5,
+                0, 2, 8, 8, 4, 1, 9, 7, 1, 6, 9, 3, 9, 9, 3, 7};
+int main() {
+    for (int i = 0; i < 48; i++) {
+        int bin = data[i] & 15;
+        bins[bin] = bins[bin] + 1;
+    }
+    int checksum = 0;
+    for (int b = 0; b < 16; b++) {
+        checksum += bins[b] * (b + 1);
+    }
+    return checksum;
+}
+""",
+    ),
+    _w(
+        "bubble", MEMORY,
+        "bubble sort of 12 elements",
+        """
+int data[12] = {9, 4, 11, 2, 7, 1, 12, 5, 10, 3, 8, 6};
+int main() {
+    for (int i = 0; i < 11; i++) {
+        for (int j = 0; j < 11; j++) {
+            if (data[j] > data[j + 1]) {
+                int t = data[j];
+                data[j] = data[j + 1];
+                data[j + 1] = t;
+            }
+        }
+    }
+    int checksum = 0;
+    for (int k = 0; k < 12; k++) {
+        checksum += data[k] * (k + 1);
+    }
+    return checksum;
+}
+""",
+    ),
+    _w(
+        "prefix", MEMORY,
+        "in-place prefix sum over 24 elements",
+        """
+int data[24] = {5, 3, 8, 1, 9, 2, 7, 4, 6, 0, 5, 3,
+                8, 1, 9, 2, 7, 4, 6, 0, 5, 3, 8, 1};
+int main() {
+    for (int i = 1; i < 24; i++) {
+        data[i] = data[i] + data[i - 1];
+    }
+    return data[23];
+}
+""",
+    ),
+    _w(
+        "ptr_sum", POINTER,
+        "vector sum through a walking pointer",
+        """
+int buffer[16] = {2, 4, 6, 8, 10, 12, 14, 16, 1, 3, 5, 7, 9, 11, 13, 15};
+int main() {
+    int *p = &buffer[0];
+    int acc = 0;
+    for (int i = 0; i < 16; i++) {
+        acc += *p;
+        p = p + 1;
+    }
+    return acc;
+}
+""",
+    ),
+    _w(
+        "ptr_swap", POINTER,
+        "swap via pointer parameters, then min/max selection",
+        """
+void order(int *lo, int *hi) {
+    if (*lo > *hi) {
+        int t = *lo;
+        *lo = *hi;
+        *hi = t;
+    }
+}
+int main(int a, int b, int c) {
+    int x = a; int y = b; int z = c;
+    order(&x, &y);
+    order(&y, &z);
+    order(&x, &y);
+    return x * 10000 + y * 100 + z;
+}
+""",
+        args=(42, 7, 19),
+        static_bounds=False,
+    ),
+    _w(
+        "prodcons", CHANNEL,
+        "producer/consumer over one rendezvous channel",
+        """
+chan<int> data;
+int total;
+process void producer() {
+    for (int i = 1; i <= 12; i++) {
+        send(data, i * i - i);
+    }
+}
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 12; i++) {
+        int v = recv(data);
+        acc += v;
+    }
+    total = acc;
+    return acc;
+}
+""",
+        static_bounds=False,
+    ),
+    _w(
+        "pipeline3", CHANNEL,
+        "three-stage process pipeline: scale, offset, accumulate",
+        """
+chan<int> stage1;
+chan<int> stage2;
+process void scale() {
+    for (int i = 0; i < 10; i++) {
+        send(stage1, i * 3);
+    }
+}
+process void offset() {
+    for (int i = 0; i < 10; i++) {
+        int v = recv(stage1);
+        send(stage2, v + 7);
+    }
+}
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 10; i++) {
+        int v = recv(stage2);
+        acc += v;
+    }
+    return acc;
+}
+""",
+        static_bounds=False,
+    ),
+    _w(
+        "fib_iter", CONTROL,
+        "iterative Fibonacci (tight scalar recurrence)",
+        """
+int main(int n) {
+    int a = 0;
+    int b = 1;
+    for (int i = 0; i < n; i++) {
+        int t = a + b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+""",
+        args=(20,),
+        static_bounds=False,
+    ),
+    _w(
+        "popcount", REGULAR,
+        "population count over a 16-word block",
+        """
+int words[16] = {0x12345678, 0x0F0F0F0F, 0x7FFFFFFF, 0x00000001,
+                 0x11111111, 0x22222222, 0x44444444, 0x78787878,
+                 0x13579BDF, 0x2468ACE0, 0x55555555, 0x33CC33CC,
+                 0x0000FFFF, 0x7FFF0000, 0x01010101, 0x10203040};
+int main() {
+    int total = 0;
+    for (int i = 0; i < 16; i++) {
+        uint32 v = words[i];
+        int count = 0;
+        for (int b = 0; b < 32; b++) {
+            count += v & 1;
+            v = v >> 1;
+        }
+        total += count;
+    }
+    return total;
+}
+""",
+    ),
+]
+
+
+BY_NAME: Dict[str, Workload] = {w.name: w for w in WORKLOADS}
+
+
+def by_category(category: str) -> List[Workload]:
+    return [w for w in WORKLOADS if w.category == category]
+
+
+def get(name: str) -> Workload:
+    if name not in BY_NAME:
+        known = ", ".join(sorted(BY_NAME))
+        raise KeyError(f"unknown workload {name!r}; known: {known}")
+    return BY_NAME[name]

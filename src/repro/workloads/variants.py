@@ -1,0 +1,139 @@
+"""Recoded workload variants — the designer effort implicit timing rules
+force (experiment E4).
+
+The paper: *"While simple to understand, such rules can require recoding to
+meet timing.  Handel-C may require assignment statements to be fused and
+loops may need to be unrolled in Transmogrifier C."*
+
+Two mechanisms reproduce that:
+
+* hand-written **fused/stepped pairs**: the same computation written as
+  many small assignments (idiomatic C, slow under Handel-C's
+  one-cycle-per-assignment rule) and as fused single assignments (fast in
+  cycles, but with long combinational chains that drag the clock down);
+* **programmatic unrolling**: :func:`unrolled_program` applies the unroll
+  pass to any workload so the Transmogrifier experiment can sweep factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..lang import ast_nodes as ast
+from ..lang import parse
+from ..lang.semantic import SemanticInfo
+from ..ir.passes import unroll_loops
+
+
+@dataclass(frozen=True)
+class RecodingPair:
+    """The same kernel in 'stepped' and 'fused' source styles."""
+
+    name: str
+    stepped: str
+    fused: str
+    args: Tuple[int, ...] = ()
+
+
+RECODING_PAIRS: List[RecodingPair] = [
+    RecodingPair(
+        name="poly16",
+        stepped="""
+int main(int x) {
+    int acc = 0;
+    for (int i = 0; i < 16; i++) {
+        int t1 = x + i;
+        int t2 = t1 * 3;
+        int t3 = t2 ^ i;
+        int t4 = t3 & 0xFFFF;
+        acc = acc + t4;
+    }
+    return acc;
+}
+""",
+        fused="""
+int main(int x) {
+    int acc = 0;
+    for (int i = 0; i < 16; i++) {
+        acc = acc + ((((x + i) * 3) ^ i) & 0xFFFF);
+    }
+    return acc;
+}
+""",
+        args=(5,),
+    ),
+    RecodingPair(
+        name="mix8",
+        stepped="""
+int main(int seed) {
+    int h = seed;
+    for (int round = 0; round < 8; round++) {
+        int a = h << 3;
+        int b = h >> 2;
+        int c = a ^ b;
+        int d = c + round;
+        h = d;
+    }
+    return h;
+}
+""",
+        fused="""
+int main(int seed) {
+    int h = seed;
+    for (int round = 0; round < 8; round++) {
+        h = ((h << 3) ^ (h >> 2)) + round;
+    }
+    return h;
+}
+""",
+        args=(12345,),
+    ),
+    RecodingPair(
+        name="nib12",
+        stepped="""
+int main(int seed) {
+    int acc = 0;
+    for (int i = 0; i < 12; i++) {
+        int v = seed >> i;
+        int lo = v & 15;
+        int hi = (v >> 4) & 15;
+        acc = acc + lo * hi;
+    }
+    return acc;
+}
+""",
+        fused="""
+int main(int seed) {
+    int acc = 0;
+    for (int i = 0; i < 12; i++) {
+        acc = acc + ((seed >> i) & 15) * (((seed >> i) >> 4) & 15);
+    }
+    return acc;
+}
+""",
+        args=(0x2F51C3,),
+    ),
+]
+
+
+def unrolled_program(
+    source: str, factor: int, function: str = "main"
+) -> Tuple[ast.Program, SemanticInfo, int]:
+    """Parse ``source`` and unroll counted loops in ``function`` by
+    ``factor``.  Returns the transformed program (annotated, ready for any
+    flow's ``compile``), its semantic info, and how many loops unrolled."""
+    program, info = parse(source)
+    transformed = []
+    unrolled = 0
+    for fn in program.functions:
+        if fn.name == function:
+            fn, count = unroll_loops(fn, factor)
+            unrolled = count
+        transformed.append(fn)
+    new_program = ast.Program(
+        functions=transformed,
+        globals=program.globals,
+        channels=program.channels,
+    )
+    return new_program, info, unrolled

@@ -1,0 +1,87 @@
+"""The framework's central invariant, checked exhaustively:
+
+    for every workload and every flow that accepts it,
+        simulated hardware outputs == golden-model outputs
+        (return value, global state, and channel traffic).
+
+Flows that reject a workload must do so with an explicit, historically
+motivated error — never silently and never with a crash.
+"""
+
+import pytest
+
+from repro.flows import COMPILABLE, REGISTRY, FlowError, UnsupportedFeature
+from repro.interp import run_program
+from repro.lang import parse
+from repro.workloads import WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def golden_results():
+    results = {}
+    for workload in WORKLOADS:
+        program, info = parse(workload.source)
+        results[workload.name] = (
+            program, info, run_program(program, info, "main", workload.args)
+        )
+    return results
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+@pytest.mark.parametrize("flow_key", COMPILABLE)
+def test_flow_matches_golden_model(workload, flow_key, golden_results):
+    program, info, golden = golden_results[workload.name]
+    flow = REGISTRY[flow_key]
+    try:
+        design = flow.compile(program, info, "main")
+    except (UnsupportedFeature, FlowError) as rejection:
+        # Rejection must carry the flow's name and a reason.
+        assert flow_key in str(rejection)
+        assert len(str(rejection)) > len(flow_key) + 5
+        return
+    result = design.run(args=workload.args)
+    assert result.value == golden.value, (
+        f"{flow_key} computed {result.value}, golden {golden.value}"
+    )
+    for name, expected in golden.globals.items():
+        if name in result.globals:
+            assert result.globals[name] == expected, f"global {name}"
+    if result.channel_log:
+        assert result.channel_log == golden.channel_log
+
+
+EXPECTED_REJECTIONS = {
+    # (workload, flow) pairs that MUST be rejected, per Table 1 features.
+    ("ptr_sum", "cones"), ("ptr_sum", "hardwarec"), ("ptr_sum", "bachc"),
+    ("ptr_sum", "handelc"), ("ptr_sum", "cyber"), ("ptr_sum", "transmogrifier"),
+    ("ptr_sum", "systemc"),
+    ("prodcons", "cones"), ("prodcons", "c2verilog"), ("prodcons", "cash"),
+    ("prodcons", "transmogrifier"),
+    ("gcd", "cones"),  # dynamic loop bound
+}
+
+
+@pytest.mark.parametrize("workload_name,flow_key", sorted(EXPECTED_REJECTIONS))
+def test_historical_rejections_enforced(workload_name, flow_key, golden_results):
+    program, info, _ = golden_results[workload_name]
+    with pytest.raises((UnsupportedFeature, FlowError)):
+        REGISTRY[flow_key].compile(program, info, "main")
+
+
+EXPECTED_ACCEPTANCE = {
+    # Flagship pairings the paper highlights.
+    ("ptr_sum", "c2verilog"), ("ptr_sum", "cash"), ("ptr_sum", "specc"),
+    ("prodcons", "handelc"), ("prodcons", "bachc"), ("prodcons", "hardwarec"),
+    ("prodcons", "systemc"),
+    ("fir8", "cones"),
+}
+
+
+@pytest.mark.parametrize("workload_name,flow_key", sorted(EXPECTED_ACCEPTANCE))
+def test_flagship_pairings_accepted(workload_name, flow_key, golden_results):
+    program, info, golden = golden_results[workload_name]
+    from repro.workloads import get
+
+    design = REGISTRY[flow_key].compile(program, info, "main")
+    result = design.run(args=get(workload_name).args)
+    assert result.value == golden.value

@@ -1,0 +1,100 @@
+"""Property-based tests for the shared machine arithmetic.
+
+These invariants tie every backend's numerics to C's: wrap is a ring
+homomorphism modulo 2^width, operators agree with unbounded integer
+arithmetic after wrapping, and comparison results are always 0/1.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.interp.machine import eval_binary, eval_unary, wrap
+from repro.lang.types import BOOL, IntType
+
+widths = st.integers(min_value=1, max_value=64)
+signedness = st.booleans()
+values = st.integers(min_value=-(2 ** 70), max_value=2 ** 70)
+
+
+@st.composite
+def int_types(draw):
+    return IntType(draw(widths), signed=draw(signedness))
+
+
+@given(int_types(), values)
+def test_wrap_is_idempotent(t, v):
+    assert wrap(wrap(v, t), t) == wrap(v, t)
+
+
+@given(int_types(), values)
+def test_wrap_lands_in_range(t, v):
+    wrapped = wrap(v, t)
+    assert t.min_value <= wrapped <= t.max_value
+
+
+@given(int_types(), values, values)
+def test_wrap_congruent_modulo_2_pow_width(t, a, b):
+    # Values congruent mod 2^w wrap identically.
+    modulus = 1 << t.width
+    assert wrap(a, t) == wrap(a + modulus * 3, t)
+    assert wrap(a + b, t) == wrap(wrap(a, t) + wrap(b, t), t)
+
+
+@given(int_types(), values, values)
+def test_add_matches_python_mod_arithmetic(t, a, b):
+    a, b = wrap(a, t), wrap(b, t)
+    assert eval_binary("+", a, b, t) == wrap(a + b, t)
+    assert eval_binary("-", a, b, t) == wrap(a - b, t)
+    assert eval_binary("*", a, b, t) == wrap(a * b, t)
+
+
+@given(int_types(), values, values)
+def test_bitwise_ops_match_python(t, a, b):
+    a, b = wrap(a, t), wrap(b, t)
+    assert eval_binary("&", a, b, t) == wrap(a & b, t)
+    assert eval_binary("|", a, b, t) == wrap(a | b, t)
+    assert eval_binary("^", a, b, t) == wrap(a ^ b, t)
+
+
+@given(int_types(), values, values)
+def test_comparisons_are_boolean_and_consistent(t, a, b):
+    a, b = wrap(a, t), wrap(b, t)
+    lt = eval_binary("<", a, b, BOOL)
+    ge = eval_binary(">=", a, b, BOOL)
+    assert lt in (0, 1) and ge in (0, 1)
+    assert lt + ge == 1
+    eq = eval_binary("==", a, b, BOOL)
+    ne = eval_binary("!=", a, b, BOOL)
+    assert eq + ne == 1
+    assert eq == int(a == b)
+
+
+@given(int_types(), values, values)
+def test_division_identity_holds(t, a, b):
+    a, b = wrap(a, t), wrap(b, t)
+    if b == 0:
+        return
+    q = eval_binary("/", a, b, IntType(128, signed=True))
+    r = eval_binary("%", a, b, IntType(128, signed=True))
+    assert q * b + r == a
+    assert abs(r) < abs(b)
+    # C: the remainder has the dividend's sign (or is zero).
+    assert r == 0 or (r > 0) == (a > 0)
+
+
+@given(int_types(), values, st.integers(min_value=0, max_value=200))
+def test_shift_left_is_multiplication(t, a, k):
+    a = wrap(a, t)
+    assert eval_binary("<<", a, k, t) == wrap(a * (2 ** min(k, t.width)), t)
+
+
+@given(int_types(), values)
+def test_double_negation_round_trips(t, v):
+    v = wrap(v, t)
+    assert eval_unary("-", eval_unary("-", v, t), t) == v
+    assert eval_unary("~", eval_unary("~", v, t), t) == v
+
+
+@given(int_types(), values)
+def test_logical_not_is_zero_test(t, v):
+    v = wrap(v, t)
+    assert eval_unary("!", v, BOOL) == int(v == 0)

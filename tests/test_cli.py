@@ -1,0 +1,87 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "kernel.c"
+    path.write_text(
+        "int main(int n) { int s = 0;"
+        " for (int i = 0; i < n; i++) { s += i * i; } return s; }"
+    )
+    return str(path)
+
+
+def test_run_command(program_file, capsys):
+    assert main(["run", program_file, "--flow", "handelc", "--args", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "value      : 30" in out
+    assert "cycles" in out
+    assert "area" in out
+
+
+def test_run_unclocked_flow(program_file, capsys):
+    assert main(["run", program_file, "--flow", "cash", "--args", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "unclocked" in out
+
+
+def test_compile_to_stdout(program_file, capsys):
+    assert main(["compile", program_file, "--flow", "c2verilog"]) == 0
+    out = capsys.readouterr().out
+    assert "module fsmd_main" in out
+
+
+def test_compile_to_file(program_file, tmp_path, capsys):
+    out_path = tmp_path / "out.v"
+    assert main(["compile", program_file, "-o", str(out_path)]) == 0
+    assert "module fsmd_main" in out_path.read_text()
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_matrix_command(program_file, capsys):
+    assert main(["matrix", program_file, "--args", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "golden model: value = 14" in out
+    assert "handelc" in out and "cash" in out
+    assert "rejected" in out  # cones rejects the dynamic bound
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Cones" in out and "CASH" in out
+    assert "chronological" in out
+
+
+def test_flows_command(capsys):
+    assert main(["flows"]) == 0
+    out = capsys.readouterr().out
+    for key in ("cones", "handelc", "cash", "ocapi"):
+        assert key in out
+
+
+def test_rejection_exits_nonzero(tmp_path, capsys):
+    path = tmp_path / "channels.c"
+    path.write_text("chan<int> c; int main() { return recv(c); }")
+    assert main(["run", str(path), "--flow", "cash"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_globals_and_channels_printed(tmp_path, capsys):
+    path = tmp_path / "prog.c"
+    path.write_text(
+        """
+        chan<int> c;
+        int g;
+        process void p() { send(c, 7); }
+        int main() { g = recv(c); return g; }
+        """
+    )
+    assert main(["run", str(path), "--flow", "bachc"]) == 0
+    out = capsys.readouterr().out
+    assert "globals" in out and "'g': 7" in out
+    assert "channels" in out

@@ -1,0 +1,221 @@
+"""Function-inliner tests."""
+
+import pytest
+
+from repro.interp import run_program
+from repro.lang import parse
+from repro.lang import ast_nodes as ast
+from repro.ir.passes import inline_program
+from repro.ir.passes.inline import InlineBudgetExceeded
+
+
+def inline_and_compare(source, args=(), **kwargs):
+    """Inlined program must behave exactly like the original."""
+    program, info = parse(source)
+    golden = run_program(program, info, "main", args)
+    inlined, stats = inline_program(program, info, **kwargs)
+    result = run_program(inlined, info, "main", args)
+    assert result.observable() == golden.observable()
+    return inlined, stats
+
+
+def has_calls(fn):
+    return any(
+        isinstance(e, ast.Call)
+        for s in ast.walk_stmts(fn.body)
+        for root in ast.stmt_expressions(s)
+        for e in ast.walk_expr(root)
+    )
+
+
+def test_simple_call_inlined():
+    inlined, stats = inline_and_compare(
+        "int sq(int x) { return x * x; } int main(int v) { return sq(v); }", (6,)
+    )
+    assert stats.calls_inlined == 1
+    assert not has_calls(inlined.function("main"))
+
+
+def test_nested_calls_inlined():
+    inlined, stats = inline_and_compare(
+        """
+        int add(int a, int b) { return a + b; }
+        int quad(int x) { return add(x, x) + add(x, x); }
+        int main(int v) { return quad(add(v, 1)); }
+        """,
+        (5,),
+    )
+    # add(v,1), quad, and the two add calls inside quad's body.
+    assert stats.calls_inlined == 4
+    assert not has_calls(inlined.function("main"))
+
+
+def test_call_in_loop_condition():
+    inline_and_compare(
+        """
+        int limit(int n) { return n * 2; }
+        int main(int n) {
+            int i = 0;
+            int s = 0;
+            while (i < limit(n)) { s += i; i++; }
+            return s;
+        }
+        """,
+        (4,),
+    )
+
+
+def test_call_in_for_condition_and_step():
+    inline_and_compare(
+        """
+        int bump(int i) { return i + 2; }
+        int main(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i = bump(i)) { s += i; }
+            return s;
+        }
+        """,
+        (10,),
+    )
+
+
+def test_early_return_paths_preserved():
+    for arg in (3, 17, 40):
+        inline_and_compare(
+            """
+            int classify(int n) {
+                if (n < 10) { return 1; }
+                if (n < 30) { return 2; }
+                return 3;
+            }
+            int main(int v) { return classify(v) * 100 + classify(v + 15); }
+            """,
+            (arg,),
+        )
+
+
+def test_return_inside_loop_preserved():
+    for arg in (5, 26, 200):
+        inline_and_compare(
+            """
+            int sqrt_floor(int x) {
+                for (int i = 0; i < 100; i++) {
+                    if (i * i > x) { return i - 1; }
+                }
+                return 100;
+            }
+            int main(int v) { return sqrt_floor(v); }
+            """,
+            (arg,),
+        )
+
+
+def test_lazy_and_with_call_on_rhs():
+    # The call must NOT run when the left side is false.
+    inline_and_compare(
+        """
+        int check(int d) { return 100 / d; }
+        int main(int a) {
+            int hit = 0;
+            if (a != 0 && check(a) > 10) { hit = 1; }
+            return hit;
+        }
+        """,
+        (0,),
+    )
+
+
+def test_lazy_ternary_with_calls_in_arms():
+    inline_and_compare(
+        """
+        int f(int d) { return 10 / d; }
+        int main(int a) { return a != 0 ? f(a) : 0 - 1; }
+        """,
+        (0,),
+    )
+
+
+def test_array_parameters_alias_caller_storage():
+    inlined, _ = inline_and_compare(
+        """
+        void clear(int buf[4]) { for (int i = 0; i < 4; i++) { buf[i] = 0; } }
+        int main() {
+            int a[4] = {1, 2, 3, 4};
+            clear(a);
+            return a[0] + a[3];
+        }
+        """
+    )
+
+
+def test_pointer_arguments_substituted():
+    inline_and_compare(
+        """
+        void inc(int *p) { *p = *p + 1; }
+        int main() { int x = 5; inc(&x); inc(&x); return x; }
+        """
+    )
+
+
+def test_scalar_arguments_evaluated_once():
+    # g() has a side effect; passing g() to a two-use parameter must not
+    # run it twice.
+    inline_and_compare(
+        """
+        int counter;
+        int g() { counter = counter + 1; return counter; }
+        int twice(int v) { return v + v; }
+        int main() { int r = twice(g()); return r * 10 + counter; }
+        """
+    )
+
+
+def test_linear_recursion_unrolls_within_depth():
+    inlined, stats = inline_and_compare(
+        "int f(int n) { if (n <= 0) { return 0; } return n + f(n - 1); }"
+        " int main() { return f(8); }",
+        max_depth=16,
+    )
+    assert stats.truncated_calls >= 1  # the depth-16 fallback remains
+    assert stats.max_depth_used == 16
+
+
+def test_exponential_recursion_hits_call_budget():
+    program, info = parse(
+        "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }"
+        " int main() { return fib(30); }"
+    )
+    with pytest.raises(InlineBudgetExceeded):
+        inline_program(program, info, max_depth=40, max_calls=500)
+
+
+def test_processes_inlined_too():
+    inlined, _ = inline_and_compare(
+        """
+        chan<int> c;
+        int twice(int v) { return v * 2; }
+        process void p() { send(c, twice(21)); }
+        int main() { return recv(c); }
+        """
+    )
+    assert not has_calls(inlined.function("p"))
+
+
+def test_call_boundary_inserts_wait_markers():
+    program, info = parse(
+        "int f(int x) { return x + 1; } int main() { return f(f(1)); }"
+    )
+    inlined, _ = inline_program(program, info, call_boundary=True)
+    waits = [
+        s for s in ast.walk_stmts(inlined.function("main").body)
+        if isinstance(s, ast.Wait)
+    ]
+    assert len(waits) == 2
+
+
+def test_original_program_is_untouched():
+    program, info = parse(
+        "int f(int x) { return x * 3; } int main() { return f(2); }"
+    )
+    inline_program(program, info)
+    assert has_calls(program.function("main"))

@@ -1,0 +1,274 @@
+"""Golden-model interpreter tests: the language's reference semantics."""
+
+import pytest
+
+from repro.lang import InterpError
+from repro.interp import run_source
+
+
+def value_of(source, args=(), **kwargs):
+    return run_source(source, args=args, **kwargs).value
+
+
+def test_return_constant():
+    assert value_of("int main() { return 42; }") == 42
+
+
+def test_arguments_bound_in_order():
+    assert value_of("int main(int a, int b) { return a * 100 + b; }", (3, 4)) == 304
+
+
+def test_argument_wrapping_on_entry():
+    assert value_of("int main(uint8 v) { return v; }", (300,)) == 44
+
+
+def test_arithmetic_with_precedence():
+    assert value_of("int main() { return 2 + 3 * 4 - 1; }") == 13
+
+
+def test_fixed_width_locals_wrap_on_store():
+    assert value_of("int main() { int4 x = 7; x = x + 1; return x; }") == -8
+
+
+def test_if_else():
+    src = "int main(int n) { if (n > 10) { return 1; } else { return 2; } }"
+    assert value_of(src, (11,)) == 1
+    assert value_of(src, (10,)) == 2
+
+
+def test_while_loop():
+    assert value_of(
+        "int main() { int i = 0; int s = 0; while (i < 5) { s += i; i++; } return s; }"
+    ) == 10
+
+
+def test_do_while_runs_at_least_once():
+    assert value_of(
+        "int main() { int n = 0; do { n++; } while (false); return n; }"
+    ) == 1
+
+
+def test_for_with_break_and_continue():
+    src = """
+    int main() {
+        int s = 0;
+        for (int i = 0; i < 100; i++) {
+            if (i == 7) { break; }
+            if (i % 2 == 0) { continue; }
+            s += i;
+        }
+        return s;
+    }
+    """
+    assert value_of(src) == 1 + 3 + 5
+
+
+def test_nested_loop_break_binds_inner():
+    src = """
+    int main() {
+        int count = 0;
+        for (int i = 0; i < 3; i++) {
+            for (int j = 0; j < 10; j++) {
+                if (j == 2) { break; }
+                count++;
+            }
+        }
+        return count;
+    }
+    """
+    assert value_of(src) == 6
+
+
+def test_short_circuit_and_skips_rhs():
+    src = "int main(int a) { int d = 0; if (a != 0 && 10 / a > 1) { d = 1; } return d; }"
+    assert value_of(src, (0,)) == 0  # would trap without short circuit
+    assert value_of(src, (4,)) == 1
+
+
+def test_short_circuit_or_skips_rhs():
+    src = "int main(int a) { return (a == 0 || 10 / a > 0) ? 7 : 8; }"
+    assert value_of(src, (0,)) == 7
+
+
+def test_ternary_is_lazy():
+    assert value_of("int main(int a) { return a != 0 ? 100 / a : 0 - 1; }", (0,)) == -1
+
+
+def test_division_by_zero_traps():
+    with pytest.raises(InterpError):
+        value_of("int main(int a) { return 1 / a; }", (0,))
+
+
+def test_array_out_of_bounds_traps():
+    with pytest.raises(InterpError):
+        value_of("int main() { int a[4]; return a[4]; }")
+    with pytest.raises(InterpError):
+        value_of("int main(int i) { int a[4]; a[i] = 1; return 0; }", (-1,))
+
+
+def test_local_arrays_zero_initialized():
+    assert value_of("int main() { int a[8]; return a[5]; }") == 0
+
+
+def test_partial_array_initializer_zeroes_tail():
+    assert value_of("int main() { int a[4] = {7}; return a[0] * 10 + a[3]; }") == 70
+
+
+def test_global_state_survives_calls_and_is_reported():
+    result = run_source(
+        """
+        int counter;
+        void bump() { counter = counter + 1; }
+        int main() { bump(); bump(); bump(); return counter; }
+        """
+    )
+    assert result.value == 3
+    assert result.globals["counter"] == 3
+
+
+def test_global_array_reported():
+    result = run_source(
+        """
+        int table[3];
+        int main() { for (int i = 0; i < 3; i++) { table[i] = i * i; } return 0; }
+        """
+    )
+    assert result.globals["table"] == [0, 1, 4]
+
+
+def test_array_arguments_pass_by_reference():
+    assert value_of(
+        """
+        void fill(int a[4]) { for (int i = 0; i < 4; i++) { a[i] = i + 1; } }
+        int main() { int buf[4]; fill(buf); return buf[3]; }
+        """
+    ) == 4
+
+
+def test_recursion():
+    assert value_of(
+        "int f(int n) { if (n <= 1) { return 1; } return n * f(n - 1); }"
+        " int main() { return f(5); }"
+    ) == 120
+
+
+def test_mutual_recursion():
+    assert value_of(
+        """
+        int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+        int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+        int main() { return even(10) * 10 + odd(10); }
+        """
+    ) == 10
+
+
+def test_pointers_alias_locals():
+    assert value_of(
+        """
+        int main() {
+            int x = 5;
+            int *p = &x;
+            *p = 9;
+            return x;
+        }
+        """
+    ) == 9
+
+
+def test_pointer_arithmetic_walks_arrays():
+    assert value_of(
+        """
+        int main() {
+            int a[4] = {10, 20, 30, 40};
+            int *p = &a[1];
+            p = p + 2;
+            return *p + *(p - 1);
+        }
+        """
+    ) == 70
+
+
+def test_step_budget_stops_infinite_loops():
+    with pytest.raises(InterpError):
+        value_of("int main() { while (true) { } return 0; }", max_steps=10_000)
+
+
+def test_par_joins_before_continuing():
+    assert value_of(
+        "int main() { int x = 0; int y = 0; par { x = 2; y = 3; } return x * y; }"
+    ) == 6
+
+
+def test_channels_rendezvous_and_log():
+    result = run_source(
+        """
+        chan<int> c;
+        process void producer() { for (int i = 0; i < 3; i++) { send(c, i + 1); } }
+        int main() { return recv(c) + recv(c) + recv(c); }
+        """
+    )
+    assert result.value == 6
+    assert result.channel_log["c"] == [1, 2, 3]
+
+
+def test_channel_deadlock_detected():
+    with pytest.raises(InterpError) as excinfo:
+        run_source("chan<int> c; int main() { return recv(c); }")
+    assert "deadlock" in str(excinfo.value)
+
+
+def test_channel_wraps_to_element_type():
+    result = run_source(
+        """
+        chan<int8> c;
+        process void p() { send(c, 200); }
+        int main() { return recv(c); }
+        """
+    )
+    assert result.value == -56
+
+
+def test_par_with_channels_between_branch_and_process():
+    result = run_source(
+        """
+        chan<int> c;
+        process void sink() { int a = recv(c); int b = recv(c); send(c, a + b); }
+        int main() {
+            int out = 0;
+            par {
+                seq { send(c, 4); send(c, 5); }
+            }
+            out = recv(c);
+            return out;
+        }
+        """
+    )
+    assert result.value == 9
+
+
+def test_observable_tuple_is_stable():
+    r1 = run_source("int g; int main() { g = 3; return 1; }")
+    r2 = run_source("int g; int main() { g = 3; return 1; }")
+    assert r1.observable() == r2.observable()
+
+
+def test_wait_and_delay_are_functionally_inert():
+    assert value_of(
+        "int main() { int x = 1; wait(); delay(5); x = x + 1; return x; }"
+    ) == 2
+
+
+def test_uninitialized_locals_are_zero_each_declaration():
+    assert value_of(
+        """
+        int main() {
+            int acc = 0;
+            for (int i = 0; i < 3; i++) {
+                int fresh;
+                acc += fresh;
+                fresh = 99;
+            }
+            return acc;
+        }
+        """
+    ) == 0

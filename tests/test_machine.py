@@ -1,0 +1,124 @@
+"""Shared machine-arithmetic tests: the single source of truth every
+backend's numerics flow through."""
+
+import pytest
+
+from repro.interp.machine import eval_binary, eval_unary, wrap
+from repro.lang.errors import InterpError
+from repro.lang.types import BOOL, IntType, PointerType
+
+I8 = IntType(8, signed=True)
+U8 = IntType(8, signed=False)
+I32 = IntType(32, signed=True)
+U32 = IntType(32, signed=False)
+
+
+def test_addition_wraps():
+    assert eval_binary("+", 127, 1, I8) == -128
+    assert eval_binary("+", 255, 1, U8) == 0
+
+
+def test_subtraction_wraps():
+    assert eval_binary("-", -128, 1, I8) == 127
+    assert eval_binary("-", 0, 1, U8) == 255
+
+
+def test_multiplication_wraps():
+    assert eval_binary("*", 16, 16, U8) == 0
+    assert eval_binary("*", 100, 100, I32) == 10000
+
+
+def test_division_truncates_toward_zero():
+    assert eval_binary("/", 7, 2, I32) == 3
+    assert eval_binary("/", -7, 2, I32) == -3
+    assert eval_binary("/", 7, -2, I32) == -3
+    assert eval_binary("/", -7, -2, I32) == 3
+
+
+def test_modulo_matches_c():
+    assert eval_binary("%", 7, 3, I32) == 1
+    assert eval_binary("%", -7, 3, I32) == -1
+    assert eval_binary("%", 7, -3, I32) == 1
+    assert eval_binary("%", -7, -3, I32) == -1
+
+
+def test_division_by_zero_traps():
+    with pytest.raises(InterpError):
+        eval_binary("/", 1, 0, I32)
+    with pytest.raises(InterpError):
+        eval_binary("%", 1, 0, I32)
+
+
+def test_shift_left():
+    assert eval_binary("<<", 1, 4, U8) == 16
+    assert eval_binary("<<", 1, 7, U8) == 128
+    assert eval_binary("<<", 1, 8, U8) == 0  # shifted out entirely
+
+
+def test_shift_right_arithmetic_for_signed():
+    assert eval_binary(">>", -8, 1, I8) == -4
+    assert eval_binary(">>", -1, 7, I8) == -1
+
+
+def test_shift_right_logical_for_unsigned():
+    assert eval_binary(">>", 0x80, 1, U8) == 0x40
+    assert eval_binary(">>", 255, 4, U8) == 15
+
+
+def test_negative_shift_amount_traps():
+    with pytest.raises(InterpError):
+        eval_binary("<<", 1, -1, I32)
+
+
+def test_oversized_shift_saturates_not_traps():
+    assert eval_binary(">>", 123, 1000, U32) == 0
+
+
+def test_bitwise_operations():
+    assert eval_binary("&", 0b1100, 0b1010, U8) == 0b1000
+    assert eval_binary("|", 0b1100, 0b1010, U8) == 0b1110
+    assert eval_binary("^", 0b1100, 0b1010, U8) == 0b0110
+
+
+def test_comparisons_yield_zero_or_one():
+    assert eval_binary("<", -1, 0, BOOL) == 1
+    assert eval_binary(">=", 5, 5, BOOL) == 1
+    assert eval_binary("==", 2, 3, BOOL) == 0
+    assert eval_binary("!=", 2, 3, BOOL) == 1
+
+
+def test_logical_operators():
+    assert eval_binary("&&", 5, -2, BOOL) == 1
+    assert eval_binary("&&", 5, 0, BOOL) == 0
+    assert eval_binary("||", 0, 0, BOOL) == 0
+    assert eval_binary("||", 0, 9, BOOL) == 1
+
+
+def test_unary_negate_and_invert():
+    assert eval_unary("-", -128, I8) == -128  # INT_MIN negation wraps
+    assert eval_unary("~", 0, U8) == 255
+    assert eval_unary("!", 0, BOOL) == 1
+    assert eval_unary("!", 42, BOOL) == 0
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(InterpError):
+        eval_binary("**", 2, 3, I32)
+    with pytest.raises(InterpError):
+        eval_unary("+", 2, I32)
+
+
+def test_wrap_pointer_type_as_unsigned_word():
+    assert wrap(-1, PointerType(I32)) == 0xFFFFFFFF
+
+
+def test_wrap_bool():
+    assert wrap(2, BOOL) == 0
+    assert wrap(3, BOOL) == 1
+
+
+def test_wrap_rejects_non_numeric_types():
+    from repro.lang.types import ArrayType
+
+    with pytest.raises(InterpError):
+        wrap(1, ArrayType(I32, 2))

@@ -1,0 +1,255 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ParseError, parse_expression, parse_program
+from repro.lang import ast_nodes as ast
+from repro.lang.types import ArrayType, ChannelType, IntType, PointerType
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+def test_precedence_mul_over_add():
+    expr = parse_expression("1 + 2 * 3")
+    assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+    assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+
+def test_precedence_shift_below_add():
+    expr = parse_expression("1 << 2 + 3")
+    assert expr.op == "<<"
+    assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "+"
+
+
+def test_precedence_comparison_below_shift():
+    expr = parse_expression("a << 1 < b")
+    assert expr.op == "<"
+
+
+def test_precedence_bitand_below_equality():
+    # C's classic gotcha: == binds tighter than &.
+    expr = parse_expression("a & b == c")
+    assert expr.op == "&"
+    assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "=="
+
+
+def test_logical_or_is_weakest():
+    expr = parse_expression("a && b || c && d")
+    assert expr.op == "||"
+    assert expr.left.op == "&&"
+    assert expr.right.op == "&&"
+
+
+def test_left_associativity():
+    expr = parse_expression("a - b - c")
+    assert expr.op == "-"
+    assert isinstance(expr.left, ast.BinaryOp) and expr.left.op == "-"
+    assert isinstance(expr.right, ast.Identifier) and expr.right.name == "c"
+
+
+def test_ternary_is_right_associative():
+    expr = parse_expression("a ? b : c ? d : e")
+    assert isinstance(expr, ast.Conditional)
+    assert isinstance(expr.otherwise, ast.Conditional)
+
+
+def test_unary_operators_nest():
+    expr = parse_expression("-~!x")
+    assert expr.op == "-"
+    assert expr.operand.op == "~"
+    assert expr.operand.operand.op == "!"
+
+
+def test_unary_plus_is_dropped():
+    expr = parse_expression("+x")
+    assert isinstance(expr, ast.Identifier)
+
+
+def test_parenthesized_grouping():
+    expr = parse_expression("(1 + 2) * 3")
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_call_with_arguments():
+    expr = parse_expression("f(1, a, g(2))")
+    assert isinstance(expr, ast.Call)
+    assert expr.callee == "f" and len(expr.args) == 3
+    assert isinstance(expr.args[2], ast.Call)
+
+
+def test_array_indexing_chains():
+    expr = parse_expression("a[i][j]")
+    assert isinstance(expr, ast.ArrayIndex)
+    assert isinstance(expr.base, ast.ArrayIndex)
+
+
+def test_recv_expression():
+    expr = parse_expression("recv(ch)")
+    assert isinstance(expr, ast.Receive)
+    assert expr.channel == "ch"
+
+
+def test_address_and_dereference():
+    expr = parse_expression("*(&x + 1)")
+    assert isinstance(expr, ast.UnaryOp) and expr.op == "*"
+    inner = expr.operand
+    assert inner.op == "+"
+    assert inner.left.op == "&"
+
+
+def test_missing_operand_rejected():
+    with pytest.raises(ParseError):
+        parse_expression("1 +")
+
+
+def test_unbalanced_paren_rejected():
+    with pytest.raises(ParseError):
+        parse_expression("(1 + 2")
+
+
+# ---------------------------------------------------------------------------
+# Statements and declarations
+# ---------------------------------------------------------------------------
+
+
+def body_of(source):
+    program = parse_program(f"void f() {{ {source} }}")
+    return program.functions[0].body.statements
+
+
+def test_declaration_with_initializer():
+    (decl,) = body_of("int x = 5;")
+    assert isinstance(decl, ast.VarDecl)
+    assert decl.name == "x" and decl.init.value == 5
+
+
+def test_sized_declaration():
+    (decl,) = body_of("uint5 x;")
+    assert decl.var_type == IntType(5, signed=False)
+
+
+def test_array_declaration_with_braces():
+    (decl,) = body_of("int a[3] = {1, 2, 3};")
+    assert isinstance(decl.var_type, ArrayType)
+    assert decl.var_type.size == 3
+    assert [e.value for e in decl.array_init] == [1, 2, 3]
+
+
+def test_pointer_declaration():
+    (decl,) = body_of("int *p;")
+    assert isinstance(decl.var_type, PointerType)
+
+
+def test_const_declaration():
+    (decl,) = body_of("const int k = 3;")
+    assert decl.is_const
+
+
+def test_compound_assignment_desugars():
+    (stmt,) = body_of("x += 2;")
+    assert isinstance(stmt, ast.Assign)
+    assert isinstance(stmt.value, ast.BinaryOp) and stmt.value.op == "+"
+
+
+def test_increment_desugars():
+    (stmt,) = body_of("x++;")
+    assert isinstance(stmt, ast.Assign)
+    assert stmt.value.op == "+"
+    assert stmt.value.right.value == 1
+
+
+def test_if_else_chain():
+    (stmt,) = body_of("if (a) x = 1; else if (b) x = 2; else x = 3;")
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.otherwise, ast.If)
+
+
+def test_for_with_declaration_head():
+    (stmt,) = body_of("for (int i = 0; i < 4; i++) { }")
+    assert isinstance(stmt, ast.For)
+    assert isinstance(stmt.init, ast.VarDecl)
+    assert stmt.cond.op == "<"
+    assert isinstance(stmt.step, ast.Assign)
+
+
+def test_for_with_empty_heads():
+    (stmt,) = body_of("for (;;) { break; }")
+    assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+
+def test_do_while():
+    (stmt,) = body_of("do { x = 1; } while (x < 3);")
+    assert isinstance(stmt, ast.DoWhile)
+
+
+def test_par_block_collects_branches():
+    (stmt,) = body_of("par { x = 1; y = 2; { z = 3; } }")
+    assert isinstance(stmt, ast.Par)
+    assert len(stmt.branches) == 3
+
+
+def test_within_block():
+    (stmt,) = body_of("within (2) { x = 1; }")
+    assert isinstance(stmt, ast.Within)
+    assert stmt.cycles == 2
+
+
+def test_send_and_delay_and_wait():
+    stmts = body_of("send(ch, x + 1); delay(3); wait();")
+    assert isinstance(stmts[0], ast.Send)
+    assert isinstance(stmts[1], ast.Delay) and stmts[1].cycles == 3
+    assert isinstance(stmts[2], ast.Wait)
+
+
+def test_assignment_to_literal_rejected():
+    with pytest.raises(ParseError):
+        body_of("5 = x;")
+
+
+def test_unterminated_block_rejected():
+    with pytest.raises(ParseError):
+        parse_program("void f() { int x = 1;")
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+def test_program_with_globals_channels_functions():
+    program = parse_program(
+        """
+        chan<int8> c;
+        int g = 4;
+        int table[2] = {1, 2};
+        process void p() { send(c, 1); }
+        int main() { return recv(c); }
+        """
+    )
+    assert len(program.channels) == 1
+    assert isinstance(program.channels[0].element_type, IntType)
+    assert len(program.globals) == 2
+    assert program.function("p").is_process
+    assert not program.function("main").is_process
+    assert [p.name for p in program.processes] == ["p"]
+
+
+def test_channel_parameter():
+    program = parse_program("void f(chan<int> c) { send(c, 1); }")
+    param = program.functions[0].params[0]
+    assert isinstance(param.param_type, ChannelType)
+
+
+def test_process_on_global_rejected():
+    with pytest.raises(ParseError):
+        parse_program("process int g;")
+
+
+def test_function_lookup_raises_for_unknown():
+    program = parse_program("void f() { }")
+    with pytest.raises(KeyError):
+        program.function("missing")

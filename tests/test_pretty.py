@@ -1,0 +1,74 @@
+"""Pretty-printer tests: printing must be a parse fixed point."""
+
+import pytest
+
+from repro.interp import run_program
+from repro.lang import parse, print_program
+from repro.workloads import WORKLOADS
+
+
+def roundtrip(source):
+    program1, info1 = parse(source)
+    text1 = print_program(program1)
+    program2, info2 = parse(text1)
+    text2 = print_program(program2)
+    assert text1 == text2
+    return program1, info1, program2, info2
+
+
+def test_roundtrip_simple_function():
+    roundtrip("int main() { return 1 + 2 * 3; }")
+
+
+def test_roundtrip_control_flow():
+    roundtrip(
+        """
+        int main(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+                if (i % 2 == 0) { s += i; } else { s -= 1; }
+            }
+            while (s > 100) { s = s / 2; }
+            do { s++; } while (s < 0);
+            return s;
+        }
+        """
+    )
+
+
+def test_roundtrip_hardware_constructs():
+    roundtrip(
+        """
+        chan<int8> c;
+        process void p() {
+            par { send(c, 1); delay(2); }
+            wait();
+        }
+        int main() {
+            int x = 0;
+            within (2) { x = 1; x = x * 2; }
+            return x + recv(c);
+        }
+        """
+    )
+
+
+def test_roundtrip_pointers_and_arrays():
+    roundtrip(
+        """
+        int g[4] = {1, 2, 3, 4};
+        int main() {
+            int *p = &g[0];
+            *p = 9;
+            return g[0] + *(p + 1);
+        }
+        """
+    )
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+def test_workloads_roundtrip_and_preserve_semantics(workload):
+    program1, info1, program2, info2 = roundtrip(workload.source)
+    before = run_program(program1, info1, "main", workload.args)
+    after = run_program(program2, info2, "main", workload.args)
+    assert before.observable() == after.observable()

@@ -1,0 +1,234 @@
+"""Semantic-analysis unit tests."""
+
+import pytest
+
+from repro.lang import SemanticError, parse
+from repro.lang.semantic import (
+    FEATURE_ARRAYS,
+    FEATURE_CHANNELS,
+    FEATURE_DIVISION,
+    FEATURE_LOOPS,
+    FEATURE_MULTIPLY,
+    FEATURE_PAR,
+    FEATURE_POINTERS,
+    FEATURE_RECURSION,
+    FEATURE_WITHIN,
+)
+
+
+def ok(source):
+    return parse(source)
+
+
+def bad(source, fragment=""):
+    with pytest.raises(SemanticError) as excinfo:
+        parse(source)
+    if fragment:
+        assert fragment in str(excinfo.value)
+    return excinfo.value
+
+
+def test_unknown_identifier():
+    bad("int main() { return y; }", "unknown identifier")
+
+
+def test_redeclaration_in_same_scope():
+    bad("int main() { int x = 1; int x = 2; return x; }", "redeclaration")
+
+
+def test_shadowing_in_nested_scope_is_allowed():
+    program, info = ok(
+        "int main() { int x = 1; { int x = 2; x = 3; } return x; }"
+    )
+    assert "main" in info.functions
+
+
+def test_scope_ends_with_block():
+    bad("int main() { { int x = 1; } return x; }", "unknown identifier")
+
+
+def test_assignment_to_const():
+    bad("int main() { const int k = 1; k = 2; return k; }", "const")
+
+
+def test_void_variable_rejected():
+    bad("int main() { void v; return 0; }")
+
+
+def test_return_type_checked():
+    bad("void f() { return 3; }")
+    bad("int main() { return; }")
+
+
+def test_break_outside_loop():
+    bad("int main() { break; return 0; }", "break")
+
+
+def test_continue_outside_loop():
+    bad("int main() { continue; return 0; }", "continue")
+
+
+def test_call_arity_checked():
+    bad("int f(int a) { return a; } int main() { return f(1, 2); }", "expects 1")
+
+
+def test_unknown_function():
+    bad("int main() { return g(); }", "unknown function")
+
+
+def test_function_used_as_value():
+    bad("int f() { return 1; } int main() { return f + 1; }", "used as a value")
+
+
+def test_array_used_as_scalar():
+    bad("int main() { int a[4]; return a + 1; }")
+
+
+def test_whole_array_assignment_rejected():
+    bad("int main() { int a[4]; int b[4]; a = b; return 0; }")
+
+
+def test_indexing_non_array():
+    bad("int main() { int x = 1; return x[0]; }", "cannot index")
+
+
+def test_array_initializer_too_long():
+    bad("int main() { int a[2] = {1, 2, 3}; return 0; }", "too many")
+
+
+def test_multidimensional_arrays_rejected():
+    bad("int main() { int a[2][2]; return 0; }", "flatten")
+    bad("int g[2][2]; int main() { return 0; }", "flatten")
+
+
+def test_dereference_non_pointer():
+    bad("int main() { int x = 1; return *x; }", "dereference")
+
+
+def test_par_write_write_race_detected():
+    bad(
+        "int main() { int x = 0; par { x = 1; x = 2; } return x; }",
+        "race",
+    )
+
+
+def test_par_disjoint_writes_allowed():
+    ok("int main() { int x = 0; int y = 0; par { x = 1; y = 2; } return x + y; }")
+
+
+def test_par_array_write_race_detected():
+    bad(
+        "int main() { int a[4]; par { a[0] = 1; a[1] = 2; } return a[0]; }",
+        "race",
+    )
+
+
+def test_within_must_be_straight_line():
+    bad(
+        "int main() { within (2) { for (int i = 0; i < 3; i++) { } } return 0; }",
+        "straight-line",
+    )
+    bad(
+        "int main(int c) { within (2) { if (c) { int x = 1; } } return 0; }",
+        "straight-line",
+    )
+
+
+def test_within_cannot_nest():
+    bad(
+        "int main() { within (3) { within (2) { int x = 1; } } return 0; }",
+    )
+
+
+def test_within_bound_positive():
+    bad("int main() { within (0) { int x = 1; } return 0; }", "positive")
+
+
+def test_channel_must_be_global():
+    bad("int main() { chan<int> c; return 0; }", "top level")
+
+
+def test_send_type_checked():
+    ok("chan<int> c; int main() { send(c, 300); return 0; }")
+    bad("chan<int> c; int main() { send(x, 1); return 0; }", "unknown channel")
+
+
+def test_send_on_non_channel():
+    bad("int x; int main() { send(x, 1); return 0; }", "not a channel")
+
+
+def test_global_initializer_must_be_constant():
+    ok("int g = 3 * 4 + (1 << 2);")
+    bad("int g = h; int main() { return g; }", "constant")
+
+
+def test_global_initializers_recorded():
+    program, info = ok("int g = 6; int a[3] = {1, 2, 3}; int main() { return g; }")
+    assert info.global_inits["g"] == 6
+    assert info.global_inits["a"] == [1, 2, 3]
+
+
+def test_feature_detection():
+    _, info = ok(
+        """
+        int helper(int n) { return n * 2; }
+        int main() {
+            int a[4];
+            int *p = &a[0];
+            for (int i = 0; i < 4; i++) { a[i] = helper(i) / 2; }
+            return *p;
+        }
+        """
+    )
+    features = info.features_of("main")
+    assert FEATURE_POINTERS in features
+    assert FEATURE_ARRAYS in features
+    assert FEATURE_LOOPS in features
+    assert FEATURE_DIVISION in features
+    assert FEATURE_MULTIPLY in features
+
+
+def test_features_propagate_through_calls():
+    _, info = ok(
+        """
+        int deep(int n) { return n % 3; }
+        int mid(int n) { return deep(n); }
+        int main() { return mid(9); }
+        """
+    )
+    assert FEATURE_DIVISION in info.features_of("main")
+    assert FEATURE_DIVISION not in info.functions["main"].features
+
+
+def test_direct_recursion_detected():
+    _, info = ok("int f(int n) { if (n <= 0) { return 0; } return f(n - 1); } int main() { return f(3); }")
+    assert info.is_recursive("f")
+    assert info.is_recursive("main")
+    assert FEATURE_RECURSION in info.features_of("main")
+
+
+def test_mutual_recursion_detected():
+    _, info = ok(
+        """
+        int odd(int n);
+        int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+        int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+        int main() { return even(4); }
+        """.replace("int odd(int n);", "")
+    )
+    assert info.is_recursive("even")
+
+
+def test_non_recursive_program():
+    _, info = ok("int f() { return 1; } int main() { return f(); }")
+    assert not info.is_recursive("main")
+    assert FEATURE_RECURSION not in info.features_of("main")
+
+
+def test_condition_must_be_scalar():
+    bad("int main() { int a[4]; if (a) { } return 0; }", "scalar")
+
+
+def test_pointer_assignment_type_checked():
+    ok("int main() { int x = 1; int *p = &x; return *p; }")
+    bad("int main() { uint8 x = 1; int *p = &x; return *p; }")

@@ -1,0 +1,64 @@
+"""Symbol-table unit tests."""
+
+import pytest
+
+from repro.lang import SemanticError
+from repro.lang.symtab import Scope, ScopeStack, Symbol, SymbolKind
+from repro.lang.types import INT
+
+
+def test_symbols_compare_by_identity():
+    a = Symbol("x", INT, SymbolKind.LOCAL)
+    b = Symbol("x", INT, SymbolKind.LOCAL)
+    assert a != b
+    assert a == a
+    assert len({a, b}) == 2
+
+
+def test_locals_get_unique_names_globals_keep_theirs():
+    local = Symbol("x", INT, SymbolKind.LOCAL)
+    assert local.unique_name != "x"
+    assert local.unique_name.startswith("x.")
+    for kind in (SymbolKind.GLOBAL, SymbolKind.FUNCTION, SymbolKind.CHANNEL):
+        assert Symbol("g", INT, kind).unique_name == "g"
+
+
+def test_scope_lookup_chains_to_parent():
+    parent = Scope()
+    outer = Symbol("x", INT, SymbolKind.LOCAL)
+    parent.declare(outer)
+    child = Scope(parent)
+    assert child.lookup("x") is outer
+    inner = Symbol("x", INT, SymbolKind.LOCAL)
+    child.declare(inner)
+    assert child.lookup("x") is inner
+    assert parent.lookup("x") is outer
+
+
+def test_redeclaration_in_same_scope_rejected():
+    scope = Scope()
+    scope.declare(Symbol("x", INT, SymbolKind.LOCAL))
+    with pytest.raises(SemanticError):
+        scope.declare(Symbol("x", INT, SymbolKind.LOCAL))
+
+
+def test_scope_stack_push_pop():
+    stack = ScopeStack()
+    stack.declare(Symbol("g", INT, SymbolKind.GLOBAL))
+    stack.push()
+    stack.declare(Symbol("l", INT, SymbolKind.LOCAL))
+    assert stack.lookup("l") is not None
+    assert stack.lookup("g") is not None
+    stack.pop()
+    assert stack.lookup("l") is None
+    assert stack.lookup("g") is not None
+
+
+def test_global_scope_cannot_be_popped():
+    stack = ScopeStack()
+    with pytest.raises(RuntimeError):
+        stack.pop()
+
+
+def test_lookup_missing_returns_none():
+    assert Scope().lookup("ghost") is None

@@ -1,0 +1,135 @@
+"""Type-system unit tests."""
+
+import pytest
+
+from repro.lang.types import (
+    ArrayType,
+    BOOL,
+    BoolType,
+    ChannelType,
+    INT,
+    IntType,
+    PointerType,
+    UINT,
+    VOID,
+    common_type,
+    is_assignable,
+    make_int,
+)
+
+
+def test_int_width_bounds():
+    IntType(1)
+    IntType(128)
+    with pytest.raises(ValueError):
+        IntType(0)
+    with pytest.raises(ValueError):
+        IntType(129)
+
+
+def test_wrap_signed():
+    t = IntType(8, signed=True)
+    assert t.wrap(127) == 127
+    assert t.wrap(128) == -128
+    assert t.wrap(-129) == 127
+    assert t.wrap(256) == 0
+    assert t.wrap(-1) == -1
+
+
+def test_wrap_unsigned():
+    t = IntType(8, signed=False)
+    assert t.wrap(255) == 255
+    assert t.wrap(256) == 0
+    assert t.wrap(-1) == 255
+
+
+def test_min_max_values():
+    signed = IntType(4, signed=True)
+    assert signed.min_value == -8 and signed.max_value == 7
+    unsigned = IntType(4, signed=False)
+    assert unsigned.min_value == 0 and unsigned.max_value == 15
+
+
+def test_make_int_reuses_canonical_instances():
+    assert make_int(32, True) is INT
+    assert make_int(32, False) is UINT
+
+
+def test_type_equality_is_structural():
+    assert IntType(7, False) == IntType(7, False)
+    assert IntType(7, False) != IntType(7, True)
+    assert ArrayType(INT, 4) == ArrayType(INT, 4)
+    assert ArrayType(INT, 4) != ArrayType(INT, 5)
+    assert PointerType(INT) == PointerType(INT)
+
+
+def test_bit_widths():
+    assert BOOL.bit_width == 1
+    assert VOID.bit_width == 0
+    assert IntType(12).bit_width == 12
+    assert ArrayType(IntType(8), 10).bit_width == 80
+    assert PointerType(INT).bit_width == 32
+    assert ChannelType(IntType(16)).bit_width == 16
+
+
+def test_common_type_width_promotion():
+    merged = common_type(IntType(8), IntType(16))
+    assert merged == IntType(16)
+
+
+def test_common_type_unsigned_wins_ties():
+    merged = common_type(IntType(16, True), IntType(16, False))
+    assert merged == IntType(16, False)
+
+
+def test_common_type_bool_promotes():
+    merged = common_type(BOOL, IntType(8))
+    assert isinstance(merged, IntType) and merged.width == 8
+
+
+def test_common_type_pointer_plus_int():
+    p = PointerType(INT)
+    assert common_type(p, INT) == p
+    assert common_type(INT, p) == p
+
+
+def test_common_type_incompatible_pointers():
+    assert common_type(PointerType(INT), PointerType(IntType(8))) is None
+
+
+def test_common_type_array_rejected():
+    assert common_type(ArrayType(INT, 4), INT) is None
+
+
+def test_assignability_allows_narrowing():
+    assert is_assignable(IntType(8), IntType(32))
+    assert is_assignable(IntType(32), IntType(8))
+    assert is_assignable(BOOL, INT)
+    assert is_assignable(INT, BOOL)
+
+
+def test_assignability_pointer_strict():
+    assert is_assignable(PointerType(INT), PointerType(INT))
+    assert not is_assignable(PointerType(INT), PointerType(IntType(8)))
+    assert not is_assignable(PointerType(INT), INT)
+
+
+def test_array_size_positive():
+    with pytest.raises(ValueError):
+        ArrayType(INT, 0)
+
+
+def test_scalar_predicate():
+    assert INT.is_scalar()
+    assert BOOL.is_scalar()
+    assert PointerType(INT).is_scalar()
+    assert not ArrayType(INT, 3).is_scalar()
+    assert not VOID.is_scalar()
+
+
+def test_type_string_forms():
+    assert str(INT) == "int"
+    assert str(IntType(7, False)) == "uint7"
+    assert str(ArrayType(INT, 4)) == "int[4]"
+    assert str(PointerType(INT)) == "int*"
+    assert str(ChannelType(INT)) == "chan<int>"

@@ -1,0 +1,203 @@
+"""Loop-unroller tests."""
+
+import pytest
+
+from repro.interp import run_program
+from repro.lang import parse
+from repro.lang import ast_nodes as ast
+from repro.ir.passes import try_full_unroll, unroll_loops
+
+
+def transform_and_compare(source, args=(), factor=None, full=False):
+    program, info = parse(source)
+    golden = run_program(program, info, "main", args)
+    fn = program.function("main")
+    if full:
+        fn2, unrolled, resisted = try_full_unroll(fn)
+        extra = (unrolled, resisted)
+    else:
+        fn2, unrolled = unroll_loops(fn, factor)
+        extra = (unrolled,)
+    new_program = ast.Program(
+        functions=[fn2] + [f for f in program.functions if f.name != "main"],
+        globals=program.globals,
+        channels=program.channels,
+    )
+    result = run_program(new_program, info, "main", args)
+    assert result.observable() == golden.observable()
+    return fn2, extra
+
+
+def count_loops(fn):
+    return sum(
+        1 for s in ast.walk_stmts(fn.body)
+        if isinstance(s, (ast.For, ast.While, ast.DoWhile))
+    )
+
+
+SUM_LOOP = """
+int total;
+int main() {
+    for (int i = 0; i < 12; i++) { total += i * i; }
+    return total;
+}
+"""
+
+
+def test_full_unroll_removes_loop():
+    fn, (unrolled, resisted) = transform_and_compare(SUM_LOOP, full=True)
+    assert unrolled == 1 and resisted == 0
+    assert count_loops(fn) == 0
+
+
+def test_full_unroll_nested_loops():
+    fn, (unrolled, resisted) = transform_and_compare(
+        """
+        int acc;
+        int main() {
+            for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 4; j++) { acc += i * 10 + j; }
+            }
+            return acc;
+        }
+        """,
+        full=True,
+    )
+    assert unrolled == 2 and resisted == 0
+    assert count_loops(fn) == 0
+
+
+def test_full_unroll_reports_dynamic_bounds():
+    fn, (unrolled, resisted) = transform_and_compare(
+        "int main(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }",
+        args=(5,),
+        full=True,
+    )
+    assert unrolled == 0 and resisted == 1
+    assert count_loops(fn) == 1
+
+
+def test_full_unroll_le_and_downward_loops():
+    fn, (unrolled, resisted) = transform_and_compare(
+        """
+        int main() {
+            int s = 0;
+            for (int i = 1; i <= 5; i++) { s += i; }
+            for (int j = 10; j > 0; j = j - 2) { s += j; }
+            for (int k = 8; k >= 0; k = k - 4) { s += k; }
+            return s;
+        }
+        """,
+        full=True,
+    )
+    assert unrolled == 3 and resisted == 0
+
+
+def test_full_unroll_ne_condition():
+    fn, (unrolled, _) = transform_and_compare(
+        "int main() { int s = 0; for (int i = 0; i != 6; i = i + 2) { s += i; } return s; }",
+        full=True,
+    )
+    assert unrolled == 1
+
+
+def test_zero_trip_loop_unrolls_to_nothing():
+    fn, (unrolled, _) = transform_and_compare(
+        "int main() { int s = 9; for (int i = 5; i < 5; i++) { s = 0; } return s; }",
+        full=True,
+    )
+    assert unrolled == 1
+    assert count_loops(fn) == 0
+
+
+def test_loops_with_break_are_not_unrolled():
+    fn, (unrolled, resisted) = transform_and_compare(
+        """
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 10; i++) { if (i == 3) { break; } s += i; }
+            return s;
+        }
+        """,
+        full=True,
+    )
+    assert unrolled == 0 and resisted == 1
+
+
+def test_loops_writing_induction_variable_are_not_unrolled():
+    fn, (unrolled, resisted) = transform_and_compare(
+        """
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 10; i++) { s += i; i = i + 1; }
+            return s;
+        }
+        """,
+        full=True,
+    )
+    assert unrolled == 0 and resisted == 1
+
+
+def test_induction_variable_visible_after_loop():
+    # `i` is declared outside, so its final value must be materialized.
+    transform_and_compare(
+        """
+        int main() {
+            int i = 0;
+            int s = 0;
+            for (i = 0; i < 7; i++) { s += 1; }
+            return s * 100 + i;
+        }
+        """,
+        full=True,
+    )
+
+
+def test_partial_unroll_by_divisible_factor():
+    fn, (unrolled,) = transform_and_compare(SUM_LOOP, factor=4)
+    assert unrolled == 1
+    assert count_loops(fn) == 1  # loop remains, body replicated
+
+
+def test_partial_unroll_factor_must_divide():
+    fn, (unrolled,) = transform_and_compare(SUM_LOOP, factor=5)
+    assert unrolled == 0  # 12 % 5 != 0: left alone
+
+
+def test_partial_unroll_preserves_array_semantics():
+    transform_and_compare(
+        """
+        int data[16];
+        int main() {
+            for (int i = 0; i < 16; i++) { data[i] = i * 3; }
+            int s = 0;
+            for (int i = 0; i < 16; i++) { s += data[i]; }
+            return s;
+        }
+        """,
+        factor=4,
+    )
+
+
+def test_unrolled_bodies_get_fresh_locals():
+    # The per-iteration temporary must not alias across unrolled copies.
+    fn, (unrolled, _) = transform_and_compare(
+        """
+        int out[4];
+        int main() {
+            for (int i = 0; i < 4; i++) {
+                int t = i * 7;
+                out[i] = t;
+            }
+            return out[3];
+        }
+        """,
+        full=True,
+    )
+    assert unrolled == 1
+    names = {
+        s.symbol.unique_name  # type: ignore[attr-defined]
+        for s in ast.walk_stmts(fn.body)
+        if isinstance(s, ast.VarDecl)
+    }
+    assert len(names) == 4  # four distinct clones of t

@@ -1,0 +1,127 @@
+"""Workload-suite tests: golden values pinned, categories coherent,
+generators deterministic."""
+
+import pytest
+
+from repro.interp import run_source
+from repro.lang import parse
+from repro.workloads import (
+    BY_NAME,
+    RECODING_PAIRS,
+    WORKLOADS,
+    array_source,
+    by_category,
+    control_source,
+    dataflow_source,
+    get,
+    unrolled_program,
+)
+
+# Golden values: change only if a workload's source deliberately changes.
+GOLDEN = {
+    "fir8": 1043,
+    "dot16": 816,
+    "matmul4": 113,
+    "dct8": 154,
+    "crc8": 106,
+    "gcd": 21,
+    "collatz": 111,
+    "parser": 516,
+    "maxsearch": 2016,
+    "histogram": 289,
+    "bubble": 650,
+    "prefix": 107,
+    "ptr_sum": 136,
+    "ptr_swap": 71942,
+    "prodcons": 572,
+    "pipeline3": 205,
+    "fib_iter": 6765,
+    "popcount": 205,
+}
+
+
+def test_every_workload_has_a_pinned_golden_value():
+    assert set(GOLDEN) == set(BY_NAME)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+def test_workload_golden_values(workload):
+    result = run_source(workload.source, args=workload.args)
+    assert result.value == GOLDEN[workload.name]
+
+
+def test_categories_cover_the_papers_axes():
+    assert len(by_category("regular")) >= 4
+    assert len(by_category("control")) >= 3
+    assert len(by_category("memory")) >= 3
+    assert len(by_category("pointer")) >= 2
+    assert len(by_category("channel")) >= 2
+
+
+def test_get_unknown_raises_with_names():
+    with pytest.raises(KeyError) as excinfo:
+        get("nope")
+    assert "known" in str(excinfo.value)
+
+
+def test_static_bounds_flag_is_accurate():
+    from repro.ir.passes import inline_program, try_full_unroll
+
+    for workload in WORKLOADS:
+        if workload.category == "channel":
+            continue
+        program, info = parse(workload.source)
+        inlined, _ = inline_program(program, info)
+        _, unrolled, resisted = try_full_unroll(inlined.function("main"))
+        if workload.static_bounds:
+            assert resisted == 0, workload.name
+
+
+@pytest.mark.parametrize("pair", RECODING_PAIRS, ids=lambda p: p.name)
+def test_recoding_pairs_compute_identically(pair):
+    stepped = run_source(pair.stepped, args=pair.args)
+    fused = run_source(pair.fused, args=pair.args)
+    assert stepped.value == fused.value
+
+
+def test_unrolled_program_preserves_semantics():
+    from repro.interp import run_program
+
+    w = get("dot16")
+    program, info, count = unrolled_program(w.source, factor=4)
+    assert count == 1
+    result = run_program(program, info, "main", w.args)
+    assert result.value == GOLDEN["dot16"]
+
+
+# ---------------------------------------------------------------------------
+# Synthetic generator
+# ---------------------------------------------------------------------------
+
+
+def test_generator_is_deterministic():
+    assert dataflow_source(7) == dataflow_source(7)
+    assert control_source(7) == control_source(7)
+    assert array_source(7) == array_source(7)
+    assert dataflow_source(7) != dataflow_source(8)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_generated_dataflow_programs_run(seed):
+    source = dataflow_source(seed)
+    result = run_source(source, args=(seed * 3 + 1, seed * 5 + 2))
+    assert result.value is not None
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_generated_control_programs_run(seed):
+    source = control_source(seed)
+    result = run_source(source, args=(seed + 1, seed * 2 + 1))
+    assert result.value is not None
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_generated_array_programs_run(seed):
+    source = array_source(seed)
+    result = run_source(source, args=(seed,))
+    assert result.value is not None
