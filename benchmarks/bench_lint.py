@@ -1,0 +1,78 @@
+"""E13 — linter throughput and agreement with the compilers.
+
+The linter's value proposition is predicting a flow's rejection without
+paying for the compile.  This benchmark measures both halves of that claim
+over the full workload suite x every compilable flow:
+
+* wall-time of ``lint()`` against wall-time of actually attempting the
+  compile (the cost the pre-flight saves on rejected pairs), and
+* exact agreement — clean => compiles, errors => rejected — which must be
+  100% for the pre-flight to be trustworthy.
+"""
+
+import time
+
+from repro.analysis.lint import lint
+from repro.flows import COMPILABLE, FlowError, REGISTRY, UnsupportedFeature
+from repro.report import format_table
+from repro.workloads import WORKLOADS
+
+
+def run_lint_suite():
+    rows = []
+    total_lint_ms = 0.0
+    total_compile_ms = 0.0
+    agree = 0
+    pairs = 0
+    for w in WORKLOADS:
+        start = time.perf_counter()
+        report = lint(w.source, flows=list(COMPILABLE))
+        lint_ms = (time.perf_counter() - start) * 1000.0
+        total_lint_ms += lint_ms
+
+        rejected_by_lint = 0
+        rejected_by_compile = 0
+        matched = 0
+        start = time.perf_counter()
+        for key in COMPILABLE:
+            pairs += 1
+            clean = report.is_clean(key)
+            try:
+                REGISTRY[key].compile_source(w.source)
+                compiled = True
+            except (UnsupportedFeature, FlowError):
+                compiled = False
+            rejected_by_lint += 0 if clean else 1
+            rejected_by_compile += 0 if compiled else 1
+            if clean == compiled:
+                matched += 1
+                agree += 1
+        compile_ms = (time.perf_counter() - start) * 1000.0
+        total_compile_ms += compile_ms
+
+        rows.append([
+            w.name, w.category,
+            rejected_by_lint, rejected_by_compile,
+            f"{matched}/{len(COMPILABLE)}",
+            f"{lint_ms:.1f}", f"{compile_ms:.1f}",
+            f"{compile_ms / max(lint_ms, 1e-9):.1f}x",
+        ])
+    summary = (pairs, agree, total_lint_ms, total_compile_ms)
+    return rows, summary
+
+
+def test_lint_throughput(benchmark, save_report):
+    rows, (pairs, agree, lint_ms, compile_ms) = benchmark.pedantic(
+        run_lint_suite, rounds=1, iterations=1
+    )
+    text = format_table(
+        ["workload", "category", "lint rejects", "compile rejects",
+         "agree", "lint ms", "compile ms", "speedup"],
+        rows,
+        title="E13: lint pre-flight vs full compile"
+              f" ({agree}/{pairs} verdicts agree,"
+              f" {lint_ms:.0f} ms lint vs {compile_ms:.0f} ms compile)",
+    )
+    save_report("e13_lint", text)
+    assert agree == pairs  # the pre-flight never disagrees with a compiler
+    assert lint_ms < compile_ms  # and it is cheaper than compiling everything

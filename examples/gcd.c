@@ -1,0 +1,15 @@
+/* Euclid's GCD: the classic data-dependent loop.  Every clocked flow
+ * compiles it; Cones rejects it (no static bound to unroll), and the
+ * untimed flows warn that its latency is input-dependent.  Try:
+ *
+ *   python -m repro lint examples/gcd.c --all
+ *   python -m repro matrix examples/gcd.c --args 48,36 --lint
+ */
+int main(int a, int b) {
+  while (b != 0) {
+    int t = b;
+    b = a % b;
+    a = t;
+  }
+  return a;
+}

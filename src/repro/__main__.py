@@ -6,8 +6,13 @@ Commands
     Compile and simulate a program; prints value, cycles, cost.
 ``compile FILE --flow KEY [-o OUT.v]``
     Compile and emit Verilog.
-``matrix FILE [--args ...]``
+``matrix FILE [--args ...] [--lint]``
     Run one program through every flow, printing the comparison table.
+    ``--lint`` pre-flights each flow with the linter and skips compiles
+    the linter already rejects.
+``lint FILE [--flow KEY | --all]``
+    Predict, per flow, what compile would reject — with rule ids, source
+    locations, and fix hints — without running any backend.
 ``table1``
     Print the regenerated Table 1.
 ``flows``
@@ -20,6 +25,7 @@ import argparse
 import sys
 from typing import List, Optional, Tuple
 
+from .analysis.lint import Severity, lint
 from .flows import (
     COMPILABLE,
     REGISTRY,
@@ -78,13 +84,58 @@ def cmd_compile(options: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(options: argparse.Namespace) -> int:
+    source = _read(options.file)
+    if options.flow and not options.all:
+        selected = [options.flow]
+    else:
+        selected = list(COMPILABLE)
+    report = lint(source, flows=selected, function=options.function,
+                  filename=options.file)
+
+    summary: List[List[object]] = []
+    for key in selected:
+        errors = report.errors(key)
+        warnings = report.warnings(key)
+        if errors:
+            verdict = "reject"
+            first = f"{errors[0].rule}: {errors[0].message}"[:52]
+        elif warnings:
+            verdict = "warn"
+            first = f"{warnings[0].rule}: {warnings[0].message}"[:52]
+        else:
+            verdict = "clean"
+            first = ""
+        summary.append([key, verdict, len(errors), len(warnings), first])
+    print(format_table(
+        ["flow", "verdict", "errors", "warnings", "first diagnostic"],
+        summary,
+        title=f"lint: {options.file}",
+    ))
+    if report.diagnostics:
+        print()
+        print(report.render())
+    if options.flow and not options.all:
+        return 1 if report.errors(options.flow) else 0
+    return 0
+
+
 def cmd_matrix(options: argparse.Namespace) -> int:
     source = _read(options.file)
     args = _parse_args_list(options.args)
     golden = run_source(source, args=args)
     print(f"golden model: value = {golden.value}\n")
+    report = None
+    if options.lint:
+        report = lint(source, flows=list(COMPILABLE),
+                      function=options.function, filename=options.file)
     rows: List[List[object]] = []
     for key in COMPILABLE:
+        if report is not None and not report.is_clean(key):
+            first = report.errors(key)[0]
+            rows.append([key, "lint:reject", "-", "-", "-",
+                         f"{first.rule}: {first.message}"[:44]])
+            continue
         try:
             design = REGISTRY[key].compile_source(source, function=options.function)
             result = design.run(args=args)
@@ -156,7 +207,23 @@ def build_parser() -> argparse.ArgumentParser:
     matrix_parser.add_argument("file")
     matrix_parser.add_argument("--function", default="main")
     matrix_parser.add_argument("--args", help="comma-separated integers")
+    matrix_parser.add_argument(
+        "--lint", action="store_true",
+        help="pre-flight each flow with the linter; skip predicted rejects",
+    )
     matrix_parser.set_defaults(handler=cmd_matrix)
+
+    lint_parser = sub.add_parser(
+        "lint", help="predict per-flow rejections without compiling"
+    )
+    lint_parser.add_argument("file")
+    lint_parser.add_argument("--flow", choices=sorted(COMPILABLE))
+    lint_parser.add_argument(
+        "--all", action="store_true",
+        help="lint against every compilable flow (the default)",
+    )
+    lint_parser.add_argument("--function", default="main")
+    lint_parser.set_defaults(handler=cmd_lint)
 
     sub.add_parser("table1", help="print Table 1").set_defaults(
         handler=cmd_table1
@@ -170,6 +237,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return options.handler(options)
     except (UnsupportedFeature, FlowError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

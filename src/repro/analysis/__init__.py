@@ -1,5 +1,5 @@
 """Program analyses: pointers/memory planning, ILP limits, dependences,
-liveness, and call graphs."""
+liveness, call graphs, and the synthesizability linter."""
 
 from .callgraph import CallGraph, build_callgraph
 from .dependence import BlockDependenceStats, block_stats, function_stats
@@ -14,7 +14,29 @@ from .memory import (
 )
 from .pointer import PointerPlan, PointerStats, plan_pointers
 
+# The linter builds CDFGs, so importing it here eagerly would close a cycle
+# (ir.builder imports analysis.pointer).  Re-export lazily instead; ``lint``
+# resolves to the subpackage, whose ``lint()`` function is the entry point.
+_LINT_EXPORTS = ("Diagnostic", "LintReport", "Severity", "lint", "lint_file")
+
+
+def __getattr__(name: str):
+    if name in _LINT_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(".lint", __name__)
+        if name == "lint":
+            return module
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "lint",
+    "lint_file",
     "BlockDependenceStats",
     "CallGraph",
     "ILPProfile",

@@ -1,0 +1,63 @@
+"""Flow-aware synthesizability linter.
+
+``lint(source, flow=...)`` predicts, per flow, which constructs that
+flow's ``compile()`` would reject — with stable rule ids, source
+locations, and fix hints — plus warnings for hazards the paper calls out
+(shared-variable races, unified-memory fallback, unbounded latency).
+"""
+
+from .diagnostics import (
+    ALL_FLOWS,
+    Diagnostic,
+    FEATURE_TO_RULE,
+    LintReport,
+    RULE_ALIAS,
+    RULE_CHANNEL,
+    RULE_COMB_CYCLE,
+    RULE_DELAY,
+    RULE_DOCS,
+    RULE_DYNAMIC_MEMORY,
+    RULE_INTERNAL,
+    RULE_PAR,
+    RULE_PARSE,
+    RULE_POINTER,
+    RULE_PROCESS,
+    RULE_RECURSION,
+    RULE_SHARED_RACE,
+    RULE_STRUCTURE,
+    RULE_UNBOUNDED_LOOP,
+    RULE_WAIT,
+    RULE_WITHIN,
+    Severity,
+)
+from .engine import lint, lint_file
+from .rules import LintContext, Rule
+
+__all__ = [
+    "ALL_FLOWS",
+    "Diagnostic",
+    "FEATURE_TO_RULE",
+    "LintContext",
+    "LintReport",
+    "RULE_ALIAS",
+    "RULE_CHANNEL",
+    "RULE_COMB_CYCLE",
+    "RULE_DELAY",
+    "RULE_DOCS",
+    "RULE_DYNAMIC_MEMORY",
+    "RULE_INTERNAL",
+    "RULE_PAR",
+    "RULE_PARSE",
+    "RULE_POINTER",
+    "RULE_PROCESS",
+    "RULE_RECURSION",
+    "RULE_SHARED_RACE",
+    "RULE_STRUCTURE",
+    "RULE_UNBOUNDED_LOOP",
+    "RULE_WAIT",
+    "RULE_WITHIN",
+    "Rule",
+    "Severity",
+    "lint",
+    "lint_file",
+]

@@ -1,0 +1,186 @@
+"""The structured diagnostics model shared by the linter and the flows.
+
+A :class:`Diagnostic` is one finding: a stable rule id (``SYN101-recursion``),
+a severity, the flow it applies to, a source location, and a fix hint.  A
+:class:`LintReport` aggregates findings across flows so callers can ask "is
+this program clean for flow X?" without re-running anything.
+
+Severity semantics are load-bearing:
+
+* ``ERROR`` predicts a compile rejection — the flow's ``compile()`` would
+  raise ``UnsupportedFeature``/``FlowError`` for the same construct, with the
+  same rule id.  ``LintReport.is_clean(flow)`` means "no errors", and the
+  property suite asserts clean programs compile.
+* ``WARNING`` marks constructs that compile but carry a hazard the paper
+  calls out: shared-variable races, unified-memory pointer fallback,
+  statically unbounded latency.
+
+Rule ids are grouped by layer: ``SYN1xx`` are AST/feature rules, ``SYN2xx``
+are CDFG-level rules, ``SYN3xx`` are frontend failures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ...lang.errors import SourceLocation, UNKNOWN_LOCATION
+from ...lang.semantic import (
+    FEATURE_CHANNELS,
+    FEATURE_DELAY,
+    FEATURE_PAR,
+    FEATURE_POINTERS,
+    FEATURE_RECURSION,
+    FEATURE_WAIT,
+    FEATURE_WITHIN,
+)
+
+# ---------------------------------------------------------------------------
+# Rule ids
+# ---------------------------------------------------------------------------
+
+RULE_RECURSION = "SYN101-recursion"
+RULE_POINTER = "SYN102-pointer"
+RULE_ALIAS = "SYN103-alias"
+RULE_DYNAMIC_MEMORY = "SYN104-dynamic-memory"
+RULE_UNBOUNDED_LOOP = "SYN105-unbounded-loop"
+RULE_PROCESS = "SYN106-process"
+RULE_CHANNEL = "SYN107-channel"
+RULE_PAR = "SYN108-par"
+RULE_WAIT = "SYN109-wait"
+RULE_DELAY = "SYN110-delay"
+RULE_WITHIN = "SYN111-within"
+RULE_STRUCTURE = "SYN112-structure"
+RULE_COMB_CYCLE = "SYN201-comb-cycle"
+RULE_SHARED_RACE = "SYN202-shared-race"
+RULE_PARSE = "SYN301-parse"
+RULE_INTERNAL = "SYN999-internal"
+
+# Language features (as recorded by semantic analysis) that map one-to-one
+# onto rejection rules.  ``Flow.check_features`` and the linter's FeatureRule
+# both read this table, so the exception a flow raises and the diagnostic the
+# linter predicts always carry the same id.
+FEATURE_TO_RULE: Dict[str, str] = {
+    FEATURE_RECURSION: RULE_RECURSION,
+    FEATURE_POINTERS: RULE_POINTER,
+    FEATURE_CHANNELS: RULE_CHANNEL,
+    FEATURE_PAR: RULE_PAR,
+    FEATURE_WAIT: RULE_WAIT,
+    FEATURE_DELAY: RULE_DELAY,
+    FEATURE_WITHIN: RULE_WITHIN,
+}
+
+# One-line documentation per rule (DESIGN.md maps these onto paper claims).
+RULE_DOCS: Dict[str, str] = {
+    RULE_RECURSION: "recursive call cycle; no stack in hardware",
+    RULE_POINTER: "pointer construct outside this flow's subset",
+    RULE_ALIAS: "pointer analysis fell back to the unified memory",
+    RULE_DYNAMIC_MEMORY: "dynamic allocation has no hardware equivalent",
+    RULE_UNBOUNDED_LOOP: "loop bound is not a compile-time constant",
+    RULE_PROCESS: "concurrent processes unsupported by this flow",
+    RULE_CHANNEL: "channel communication unsupported by this flow",
+    RULE_PAR: "par construct unsupported by this flow",
+    RULE_WAIT: "wait() unsupported by this flow",
+    RULE_DELAY: "delay() unsupported by this flow",
+    RULE_WITHIN: "within timing constraints unsupported by this flow",
+    RULE_STRUCTURE: "construct shape this flow's translation cannot handle",
+    RULE_COMB_CYCLE: "combinational cycle (zero-time loop)",
+    RULE_SHARED_RACE: "processes share a variable without a channel",
+    RULE_PARSE: "source does not parse or type-check",
+    RULE_INTERNAL: "linter rule crashed; prediction incomplete",
+}
+
+# Diagnostics with this flow key apply to every flow (frontend failures).
+ALL_FLOWS = "*"
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+    @property
+    def rank(self) -> int:
+        return 0 if self is Severity.ERROR else 1
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding, addressed to one flow (or ``ALL_FLOWS``)."""
+
+    flow: str
+    rule: str
+    severity: Severity
+    message: str
+    location: SourceLocation = UNKNOWN_LOCATION
+    hint: str = ""
+
+    def applies_to(self, flow: str) -> bool:
+        return self.flow == flow or self.flow == ALL_FLOWS
+
+    def __str__(self) -> str:
+        text = (
+            f"{self.location}: {self.severity.value}"
+            f" {self.rule} [{self.flow}] {self.message}"
+        )
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+
+@dataclass
+class LintReport:
+    """All diagnostics the linter produced for one source buffer."""
+
+    filename: str = "<input>"
+    flows: List[str] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def for_flow(self, flow: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.applies_to(flow)]
+
+    def errors(self, flow: Optional[str] = None) -> List[Diagnostic]:
+        found = self.diagnostics if flow is None else self.for_flow(flow)
+        return [d for d in found if d.severity is Severity.ERROR]
+
+    def warnings(self, flow: Optional[str] = None) -> List[Diagnostic]:
+        found = self.diagnostics if flow is None else self.for_flow(flow)
+        return [d for d in found if d.severity is Severity.WARNING]
+
+    def is_clean(self, flow: str) -> bool:
+        """No errors for ``flow``: its compile() is predicted to succeed."""
+        return not self.errors(flow)
+
+    def rules(self, flow: str, severity: Optional[Severity] = None) -> Set[str]:
+        return {
+            d.rule
+            for d in self.for_flow(flow)
+            if severity is None or d.severity is severity
+        }
+
+    def sorted(self) -> List[Diagnostic]:
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (
+                d.flow,
+                d.severity.rank,
+                d.location.line,
+                d.location.column,
+                d.rule,
+            ),
+        )
+
+    def render(self) -> str:
+        """Plain-text listing, grouped by flow, for terminals and tests."""
+        lines: List[str] = []
+        for diagnostic in self.sorted():
+            lines.append(str(diagnostic))
+        if not lines:
+            lines.append(f"{self.filename}: clean for all linted flows")
+        return "\n".join(lines)

@@ -32,6 +32,11 @@ class BachCFlow(Flow):
         reference="Kambe et al., ASP-DAC 2001",
     )
 
+    FORBIDDEN = {
+        FEATURE_POINTERS: "Bach C supports arrays but not pointers",
+        FEATURE_RECURSION: "Bach C forbids recursion",
+    }
+
     def compile(
         self,
         program: ast.Program,
@@ -42,14 +47,7 @@ class BachCFlow(Flow):
         tech: Technology = DEFAULT_TECH,
         **options,
     ) -> CompiledDesign:
-        self.check_features(
-            info,
-            roots_of(program, function),
-            {
-                FEATURE_POINTERS: "Bach C supports arrays but not pointers",
-                FEATURE_RECURSION: "Bach C forbids recursion",
-            },
-        )
+        self.check_features(info, roots_of(program, function))
         return synthesize_fsmd_system(
             program, info, function,
             flow_key=self.metadata.key,

@@ -20,18 +20,39 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..analysis.lint.diagnostics import FEATURE_TO_RULE
 from ..lang import ast_nodes as ast
 from ..lang import parse as parse_source
+from ..lang.errors import SourceLocation, UNKNOWN_LOCATION
 from ..lang.semantic import SemanticInfo
 from ..rtl.tech import DEFAULT_TECH, Technology
 
 
 class FlowError(Exception):
-    """A program is outside what this flow can synthesize."""
+    """A program is outside what this flow can synthesize.
 
-    def __init__(self, flow: str, message: str):
-        super().__init__(f"[{flow}] {message}")
+    ``rule`` carries the linter rule id predicting this rejection (empty
+    when no rule covers it yet) and ``location`` points at the offending
+    construct, so error text, linter output, and tests all agree."""
+
+    def __init__(
+        self,
+        flow: str,
+        message: str,
+        rule: str = "",
+        location: Optional[SourceLocation] = None,
+    ):
+        text = f"[{flow}] "
+        if rule:
+            text += f"{rule}: "
+        text += message
+        if location is not None and location != UNKNOWN_LOCATION:
+            text += f" (at {location})"
+        super().__init__(text)
         self.flow = flow
+        self.rule = rule
+        self.location = location
+        self.reason = message
 
 
 class UnsupportedFeature(FlowError):
@@ -130,6 +151,12 @@ class Flow(abc.ABC):
 
     metadata: FlowMetadata
 
+    # Feature name -> human explanation for every language feature the
+    # historical tool rejected.  ``check_features`` enforces the table and
+    # ``flows.registry.lint_rules`` derives the linter's feature rules from
+    # it, so the compiler and the linter cannot drift apart.
+    FORBIDDEN: Dict[str, str] = {}
+
     @abc.abstractmethod
     def compile(
         self,
@@ -147,16 +174,32 @@ class Flow(abc.ABC):
         return self.compile(program, info, function, **options)
 
     def check_features(
-        self, info: SemanticInfo, roots: List[str], forbidden: Dict[str, str]
+        self,
+        info: SemanticInfo,
+        roots: List[str],
+        forbidden: Optional[Dict[str, str]] = None,
     ) -> None:
         """Reject programs using features the historical tool lacked.
-        ``forbidden`` maps feature name -> human explanation."""
+        ``forbidden`` maps feature name -> human explanation; defaults to
+        the flow's class-level :attr:`FORBIDDEN` table."""
+        if forbidden is None:
+            forbidden = self.FORBIDDEN
         used = set()
         for root in roots:
             used |= info.features_of(root)
         for feature, reason in forbidden.items():
             if feature in used:
-                raise UnsupportedFeature(self.metadata.key, reason)
+                location = UNKNOWN_LOCATION
+                for root in roots:
+                    location = info.feature_site(root, feature)
+                    if location != UNKNOWN_LOCATION:
+                        break
+                raise UnsupportedFeature(
+                    self.metadata.key,
+                    reason,
+                    rule=FEATURE_TO_RULE.get(feature, ""),
+                    location=location,
+                )
 
 
 def roots_of(program: ast.Program, function: str) -> List[str]:

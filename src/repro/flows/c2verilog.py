@@ -45,6 +45,16 @@ class C2VerilogFlow(Flow):
         reference="Soderman & Panchul, FCCM 1998; US patent 6,226,776",
     )
 
+    FORBIDDEN = {
+        FEATURE_PAR: "C2Verilog compiles plain C; no par construct",
+        FEATURE_CHANNELS: "C2Verilog compiles plain C; no channels",
+        FEATURE_WITHIN: "C2Verilog timing constraints live outside"
+                        " the language (use clock_ns/resources"
+                        " compile options)",
+        FEATURE_WAIT: "C2Verilog compiles plain C; no wait()",
+        FEATURE_DELAY: "C2Verilog compiles plain C; no delay()",
+    }
+
     def compile(
         self,
         program: ast.Program,
@@ -58,19 +68,7 @@ class C2VerilogFlow(Flow):
         narrow: bool = False,
         **options,
     ) -> CompiledDesign:
-        self.check_features(
-            info,
-            roots_of(program, function),
-            {
-                FEATURE_PAR: "C2Verilog compiles plain C; no par construct",
-                FEATURE_CHANNELS: "C2Verilog compiles plain C; no channels",
-                FEATURE_WITHIN: "C2Verilog timing constraints live outside"
-                                " the language (use clock_ns/resources"
-                                " compile options)",
-                FEATURE_WAIT: "C2Verilog compiles plain C; no wait()",
-                FEATURE_DELAY: "C2Verilog compiles plain C; no delay()",
-            },
-        )
+        self.check_features(info, roots_of(program, function))
         return synthesize_fsmd_system(
             program, info, function,
             flow_key=self.metadata.key,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..analysis.lint.diagnostics import RULE_PROCESS
 from ..analysis.pointer import PointerPlan, plan_pointers
 from ..lang import ast_nodes as ast
 from ..lang.semantic import (
@@ -177,6 +178,14 @@ class CashFlow(Flow):
         reference="Budiu & Goldstein, FPL 2002 (LNCS 2438)",
     )
 
+    FORBIDDEN = {
+        FEATURE_PAR: "CASH compiles plain ANSI C: no par",
+        FEATURE_CHANNELS: "CASH compiles plain ANSI C: no channels",
+        FEATURE_WAIT: "CASH circuits have no clock to wait on",
+        FEATURE_DELAY: "CASH circuits have no clock to wait on",
+        FEATURE_WITHIN: "CASH has no timing constraints",
+    }
+
     def compile(
         self,
         program: ast.Program,
@@ -186,19 +195,14 @@ class CashFlow(Flow):
         pointer_analysis: bool = True,
         **options,
     ) -> CompiledDesign:
-        self.check_features(
-            info,
-            roots_of(program, function),
-            {
-                FEATURE_PAR: "CASH compiles plain ANSI C: no par",
-                FEATURE_CHANNELS: "CASH compiles plain ANSI C: no channels",
-                FEATURE_WAIT: "CASH circuits have no clock to wait on",
-                FEATURE_DELAY: "CASH circuits have no clock to wait on",
-                FEATURE_WITHIN: "CASH has no timing constraints",
-            },
-        )
+        self.check_features(info, roots_of(program, function))
         if program.processes:
-            raise UnsupportedFeature(_KEY, "CASH compiles a single C program")
+            raise UnsupportedFeature(
+                _KEY,
+                "CASH compiles a single C program",
+                rule=RULE_PROCESS,
+                location=program.processes[0].location,
+            )
         inlined, inline_stats = inline_program(program, info, roots=[function])
         fn = inlined.function(function)
         plan = plan_pointers(fn, enable_analysis=pointer_analysis)

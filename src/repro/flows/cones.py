@@ -26,6 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..analysis.lint.diagnostics import (
+    RULE_COMB_CYCLE,
+    RULE_PROCESS,
+    RULE_STRUCTURE,
+    RULE_UNBOUNDED_LOOP,
+)
 from ..analysis.pointer import plan_pointers
 from ..lang import ast_nodes as ast
 from ..lang.semantic import (
@@ -117,6 +123,7 @@ class _Flattener:
                         f"loop survived unrolling ({block.label} ->"
                         f" {successor.label}); Cones requires statically"
                         " bounded loops",
+                        rule=RULE_COMB_CYCLE,
                     )
         entry_env, entry_arrays = self._initial_environment()
         # Per block: (path_cond, var env, array env) after merging preds.
@@ -289,7 +296,10 @@ class _Flattener:
                         )
             else:
                 raise UnsupportedFeature(
-                    _KEY, f"{op.kind.value} has no combinational equivalent"
+                    _KEY,
+                    f"{op.kind.value} has no combinational equivalent",
+                    rule=RULE_STRUCTURE,
+                    location=op.location,
                 )
         for symbol, value in block.var_writes.items():
             new_value = read(value)
@@ -379,6 +389,15 @@ class ConesFlow(Flow):
         reference="Stroud, Munoz & Pierce, IEEE D&T 1988",
     )
 
+    FORBIDDEN = {
+        FEATURE_POINTERS: "Cones' strict C subset has no pointers",
+        FEATURE_CHANNELS: "Cones is combinational: no channels",
+        FEATURE_WAIT: "Cones is combinational: no clock to wait on",
+        FEATURE_DELAY: "Cones is combinational: no clock to wait on",
+        FEATURE_WITHIN: "Cones has no timing constraints",
+        FEATURE_RECURSION: "Cones forbids recursion",
+    }
+
     def compile(
         self,
         program: ast.Program,
@@ -388,20 +407,14 @@ class ConesFlow(Flow):
         max_unroll: int = 4096,
         **options,
     ) -> CompiledDesign:
-        self.check_features(
-            info,
-            roots_of(program, function),
-            {
-                FEATURE_POINTERS: "Cones' strict C subset has no pointers",
-                FEATURE_CHANNELS: "Cones is combinational: no channels",
-                FEATURE_WAIT: "Cones is combinational: no clock to wait on",
-                FEATURE_DELAY: "Cones is combinational: no clock to wait on",
-                FEATURE_WITHIN: "Cones has no timing constraints",
-                FEATURE_RECURSION: "Cones forbids recursion",
-            },
-        )
+        self.check_features(info, roots_of(program, function))
         if program.processes:
-            raise UnsupportedFeature(_KEY, "Cones has no processes")
+            raise UnsupportedFeature(
+                _KEY,
+                "Cones has no processes",
+                rule=RULE_PROCESS,
+                location=program.processes[0].location,
+            )
         inlined, inline_stats = inline_program(program, info, roots=[function])
         fn = inlined.function(function)
         fn, unrolled, resisted = try_full_unroll(fn, max_iterations=max_unroll)
@@ -410,6 +423,7 @@ class ConesFlow(Flow):
                 _KEY,
                 f"{resisted} loop(s) have bounds the compiler cannot"
                 " evaluate; Cones unrolls every loop at compile time",
+                rule=RULE_UNBOUNDED_LOOP,
             )
         plan = plan_pointers(fn)
         cdfg = build_function(fn, info, plan)

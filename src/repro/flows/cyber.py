@@ -31,6 +31,11 @@ class CyberFlow(Flow):
         reference="Wakabayashi, DATE 1999",
     )
 
+    FORBIDDEN = {
+        FEATURE_POINTERS: "BDL prohibits pointers",
+        FEATURE_RECURSION: "BDL prohibits recursive functions",
+    }
+
     def compile(
         self,
         program: ast.Program,
@@ -41,14 +46,7 @@ class CyberFlow(Flow):
         tech: Technology = DEFAULT_TECH,
         **options,
     ) -> CompiledDesign:
-        self.check_features(
-            info,
-            roots_of(program, function),
-            {
-                FEATURE_POINTERS: "BDL prohibits pointers",
-                FEATURE_RECURSION: "BDL prohibits recursive functions",
-            },
-        )
+        self.check_features(info, roots_of(program, function))
         return synthesize_fsmd_system(
             program, info, function,
             flow_key=self.metadata.key,

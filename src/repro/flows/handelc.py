@@ -31,8 +31,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..analysis.lint.diagnostics import (
+    RULE_COMB_CYCLE,
+    RULE_STRUCTURE,
+    RULE_WITHIN,
+)
 from ..lang import ast_nodes as ast
-from ..lang.errors import SemanticError
+from ..lang.errors import SemanticError, SourceLocation
 from ..lang.semantic import (
     FEATURE_POINTERS,
     FEATURE_RECURSION,
@@ -124,7 +129,10 @@ class _HandelCBuilder:
         if isinstance(expr, ast.Identifier):
             symbol: Symbol = expr.symbol  # type: ignore[attr-defined]
             if isinstance(symbol.type, ArrayType):
-                raise UnsupportedFeature(_KEY, "array used as a scalar value")
+                raise UnsupportedFeature(
+                    _KEY, "array used as a scalar value",
+                    rule=RULE_STRUCTURE, location=expr.location,
+                )
             if symbol in subst:
                 return subst[symbol]
             return VarRead(symbol)
@@ -156,7 +164,10 @@ class _HandelCBuilder:
         if isinstance(expr, ast.ArrayIndex):
             base = expr.base
             if not isinstance(base, ast.Identifier):
-                raise UnsupportedFeature(_KEY, "only named arrays are indexable")
+                raise UnsupportedFeature(
+                    _KEY, "only named arrays are indexable",
+                    rule=RULE_STRUCTURE, location=expr.location,
+                )
             array: Symbol = base.symbol  # type: ignore[attr-defined]
             index = self._lower(expr.index, ops, subst)
             assert expr.type is not None
@@ -167,11 +178,18 @@ class _HandelCBuilder:
         if isinstance(expr, ast.Receive):
             raise UnsupportedFeature(
                 _KEY, "recv(c) must stand alone: use `x = recv(c);`"
-                      " (Handel-C's `c ? x`)"
+                      " (Handel-C's `c ? x`)",
+                rule=RULE_STRUCTURE, location=expr.location,
             )
         if isinstance(expr, ast.Call):
-            raise UnsupportedFeature(_KEY, "calls must be inlined first")
-        raise UnsupportedFeature(_KEY, f"cannot lower {type(expr).__name__}")
+            raise UnsupportedFeature(
+                _KEY, "calls must be inlined first",
+                rule=RULE_STRUCTURE, location=expr.location,
+            )
+        raise UnsupportedFeature(
+            _KEY, f"cannot lower {type(expr).__name__}",
+            rule=RULE_STRUCTURE, location=expr.location,
+        )
 
     # -- statements ------------------------------------------------------------
 
@@ -292,9 +310,13 @@ class _HandelCBuilder:
         if isinstance(stmt, ast.Within):
             raise UnsupportedFeature(
                 _KEY, "Handel-C has no timing constraints: timing is the"
-                      " one-cycle-per-assignment rule itself"
+                      " one-cycle-per-assignment rule itself",
+                rule=RULE_WITHIN, location=stmt.location,
             )
-        raise UnsupportedFeature(_KEY, f"cannot compile {type(stmt).__name__}")
+        raise UnsupportedFeature(
+            _KEY, f"cannot compile {type(stmt).__name__}",
+            rule=RULE_STRUCTURE, location=stmt.location,
+        )
 
     def _sequence(self, fragments: List[Fragment]) -> Fragment:
         if not fragments:
@@ -357,7 +379,10 @@ class _HandelCBuilder:
         if isinstance(assign.target, ast.ArrayIndex):
             base = assign.target.base
             if not isinstance(base, ast.Identifier):
-                raise UnsupportedFeature(_KEY, "only named arrays are assignable")
+                raise UnsupportedFeature(
+                    _KEY, "only named arrays are assignable",
+                    rule=RULE_STRUCTURE, location=assign.location,
+                )
             array: Symbol = base.symbol  # type: ignore[attr-defined]
             index = self._lower(assign.target.index, action.ops)
             if isinstance(assign.value, ast.Receive):
@@ -379,7 +404,10 @@ class _HandelCBuilder:
                 Operation(kind=OpKind.STORE, operands=[index, value], array=array)
             )
             return self._action_fragment(action)
-        raise UnsupportedFeature(_KEY, "unsupported assignment target")
+        raise UnsupportedFeature(
+            _KEY, "unsupported assignment target",
+            rule=RULE_STRUCTURE, location=assign.location,
+        )
 
     # -- par --------------------------------------------------------------
 
@@ -387,7 +415,7 @@ class _HandelCBuilder:
         chains: List[List[_Action]] = []
         for branch in par.branches:
             entry, tail = self.compile_stmt(branch)
-            chains.append(self._linearize(entry, tail))
+            chains.append(self._linearize(entry, tail, par.location))
         merged: List[_Action] = []
         pending = [list(chain) for chain in chains]
         while any(pending):
@@ -409,7 +437,9 @@ class _HandelCBuilder:
         return self._sequence([self._action_fragment(a) for a in merged]) \
             if merged else self._empty_fragment()
 
-    def _linearize(self, entry: _Node, tail: _Join) -> List[_Action]:
+    def _linearize(
+        self, entry: _Node, tail: _Join, location: SourceLocation
+    ) -> List[_Action]:
         """A par branch must be a straight-line chain of actions."""
         actions: List[_Action] = []
         node: Optional[_Node] = entry
@@ -417,7 +447,8 @@ class _HandelCBuilder:
         while node is not None and node is not tail:
             if node.id in seen:
                 raise UnsupportedFeature(
-                    _KEY, "par branches must be straight-line code"
+                    _KEY, "par branches must be straight-line code",
+                    rule=RULE_STRUCTURE, location=location,
                 )
             seen.add(node.id)
             if isinstance(node, _Action):
@@ -430,6 +461,7 @@ class _HandelCBuilder:
                     _KEY,
                     "par branches must be straight-line code (no control"
                     " flow inside par; put loops in a process instead)",
+                    rule=RULE_STRUCTURE, location=location,
                 )
         return actions
 
@@ -513,6 +545,12 @@ class _HandelCBuilder:
                 "zero-time loop: a loop body must contain at least one"
                 " assignment or delay (otherwise the hardware is a"
                 " combinational cycle)",
+                rule=RULE_COMB_CYCLE,
+                location=(
+                    node.cond.location
+                    if isinstance(node, _Decision)
+                    else self.fn.location
+                ),
             )
         visiting = visiting | {node.id}
         if isinstance(node, _Join):
@@ -589,6 +627,12 @@ class HandelCFlow(Flow):
         reference="Celoxica, Handel-C Language Reference Manual RM-1003-4.0",
     )
 
+    FORBIDDEN = {
+        FEATURE_POINTERS: "Handel-C has no pointers",
+        FEATURE_WITHIN: "Handel-C has no timing constraints",
+        FEATURE_RECURSION: "Handel-C forbids recursion",
+    }
+
     def compile(
         self,
         program: ast.Program,
@@ -598,14 +642,7 @@ class HandelCFlow(Flow):
         **options,
     ) -> CompiledDesign:
         roots = roots_of(program, function)
-        self.check_features(
-            info, roots,
-            {
-                FEATURE_POINTERS: "Handel-C has no pointers",
-                FEATURE_WITHIN: "Handel-C has no timing constraints",
-                FEATURE_RECURSION: "Handel-C forbids recursion",
-            },
-        )
+        self.check_features(info, roots)
         inlined, inline_stats = inline_program(program, info, roots=roots)
         fsmds: List[FSMD] = []
         for fn in inlined.functions:

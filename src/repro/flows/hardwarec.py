@@ -34,6 +34,11 @@ class HardwareCFlow(Flow):
         reference="Ku & De Micheli, CSTL-TR-90-419",
     )
 
+    FORBIDDEN = {
+        FEATURE_POINTERS: "HardwareC has no pointers",
+        FEATURE_RECURSION: "HardwareC forbids recursion",
+    }
+
     def compile(
         self,
         program: ast.Program,
@@ -44,14 +49,7 @@ class HardwareCFlow(Flow):
         tech: Technology = DEFAULT_TECH,
         **options,
     ) -> CompiledDesign:
-        self.check_features(
-            info,
-            roots_of(program, function),
-            {
-                FEATURE_POINTERS: "HardwareC has no pointers",
-                FEATURE_RECURSION: "HardwareC forbids recursion",
-            },
-        )
+        self.check_features(info, roots_of(program, function))
         return synthesize_fsmd_system(
             program, info, function,
             flow_key=self.metadata.key,

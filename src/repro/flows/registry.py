@@ -7,8 +7,21 @@ the registry, which is what ``benchmarks/bench_table1.py`` prints.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..analysis.lint.rules import (
+    AliasFallbackRule,
+    ConesCombCycleRule,
+    FeatureRule,
+    NoProcessRule,
+    ParStructureRule,
+    ReceivePositionRule,
+    Rule,
+    SharedRaceRule,
+    StaticLoopBoundRule,
+    UnboundedLatencyRule,
+    ZeroTimeLoopRule,
+)
 from ..lang import parse as parse_source
 from .base import CompiledDesign, Flow, FlowError, FlowMetadata, FlowResult
 from .bachc import BachCFlow
@@ -70,6 +83,52 @@ def run_flow(
     """Compile and simulate in one call."""
     design = compile_flow(source, flow=flow, function=function, **options)
     return design.run(args=args, process_args=process_args, max_cycles=max_cycles)
+
+
+# Structural and CDFG-level lint rules per flow, beyond the feature table
+# each flow declares in its FORBIDDEN attribute.  Declared here, next to the
+# registry, so a flow's lint configuration lives with its Table 1 row.
+_STRUCTURAL_RULES: Dict[str, List[Rule]] = {
+    "cones": [
+        NoProcessRule("Cones has no processes"),
+        StaticLoopBoundRule(),
+        ConesCombCycleRule(),
+    ],
+    "cash": [NoProcessRule("CASH compiles a single C program")],
+    "handelc": [
+        ZeroTimeLoopRule(),
+        ParStructureRule(),
+        ReceivePositionRule(),
+    ],
+}
+
+# Flows whose pointer support goes through plan_pointers: warn when the
+# analysis falls back to the unified memory.
+_POINTER_FLOWS = ("c2verilog", "cash", "specc")
+
+_lint_rule_cache: Dict[str, Tuple[Rule, ...]] = {}
+
+
+def lint_rules(key: str) -> Tuple[Rule, ...]:
+    """The lint rule set predicting what ``key``'s compile would reject,
+    plus the hazard warnings that apply to its execution model."""
+    if key in _lint_rule_cache:
+        return _lint_rule_cache[key]
+    flow = get_flow(key)
+    rules: List[Rule] = [
+        FeatureRule(feature, reason)
+        for feature, reason in flow.FORBIDDEN.items()
+    ]
+    rules.extend(_STRUCTURAL_RULES.get(key, ()))
+    if key in _POINTER_FLOWS:
+        rules.append(AliasFallbackRule())
+    if flow.metadata.concurrency == "explicit":
+        rules.append(SharedRaceRule())
+    if key != "cones":
+        rules.append(UnboundedLatencyRule())
+    result = tuple(rules)
+    _lint_rule_cache[key] = result
+    return result
 
 
 def table1_rows() -> List[Dict[str, str]]:

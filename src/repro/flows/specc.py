@@ -40,6 +40,10 @@ class SpecCFlow(Flow):
         reference="Gajski et al., Kluwer 2000",
     )
 
+    FORBIDDEN = {
+        FEATURE_RECURSION: "the SpecC synthesizable subset forbids recursion",
+    }
+
     def compile(
         self,
         program: ast.Program,
@@ -51,11 +55,7 @@ class SpecCFlow(Flow):
         tech: Technology = DEFAULT_TECH,
         **options,
     ) -> CompiledDesign:
-        self.check_features(
-            info,
-            roots_of(program, function),
-            {FEATURE_RECURSION: "the SpecC synthesizable subset forbids recursion"},
-        )
+        self.check_features(info, roots_of(program, function))
         if refine == "specification":
             chosen = ResourceSet.unlimited()
         elif refine == "implementation":

@@ -65,6 +65,15 @@ class SystemCFlow(Flow):
         reference="Grötker, Liao, Martin & Swan, Kluwer 2002",
     )
 
+    FORBIDDEN = {
+        FEATURE_POINTERS: "the SystemC synthesizable subset"
+                          " excludes pointers",
+        FEATURE_WITHIN: "SystemC has no statement-level timing"
+                        " constraints",
+        FEATURE_RECURSION: "the SystemC synthesizable subset"
+                           " forbids recursion",
+    }
+
     def compile(
         self,
         program: ast.Program,
@@ -73,18 +82,7 @@ class SystemCFlow(Flow):
         tech: Technology = DEFAULT_TECH,
         **options,
     ) -> CompiledDesign:
-        self.check_features(
-            info,
-            roots_of(program, function),
-            {
-                FEATURE_POINTERS: "the SystemC synthesizable subset"
-                                  " excludes pointers",
-                FEATURE_WITHIN: "SystemC has no statement-level timing"
-                                " constraints",
-                FEATURE_RECURSION: "the SystemC synthesizable subset"
-                                   " forbids recursion",
-            },
-        )
+        self.check_features(info, roots_of(program, function))
         return synthesize_fsmd_system(
             program, info, function,
             flow_key=self.metadata.key,

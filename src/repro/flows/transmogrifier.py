@@ -140,6 +140,15 @@ class TransmogrifierFlow(Flow):
         reference="Galloway, FCCM 1995",
     )
 
+    FORBIDDEN = {
+        FEATURE_POINTERS: "Transmogrifier C has no pointers",
+        FEATURE_CHANNELS: "Transmogrifier C has no channels",
+        FEATURE_PAR: "Transmogrifier C has no parallel constructs",
+        FEATURE_WITHIN: "Transmogrifier C has no timing constraints",
+        FEATURE_DELAY: "Transmogrifier C has no delay statement",
+        FEATURE_RECURSION: "Transmogrifier C forbids recursion",
+    }
+
     def compile(
         self,
         program: ast.Program,
@@ -148,18 +157,7 @@ class TransmogrifierFlow(Flow):
         tech: Technology = DEFAULT_TECH,
         **options,
     ) -> CompiledDesign:
-        self.check_features(
-            info,
-            roots_of(program, function),
-            {
-                FEATURE_POINTERS: "Transmogrifier C has no pointers",
-                FEATURE_CHANNELS: "Transmogrifier C has no channels",
-                FEATURE_PAR: "Transmogrifier C has no parallel constructs",
-                FEATURE_WITHIN: "Transmogrifier C has no timing constraints",
-                FEATURE_DELAY: "Transmogrifier C has no delay statement",
-                FEATURE_RECURSION: "Transmogrifier C forbids recursion",
-            },
-        )
+        self.check_features(info, roots_of(program, function))
         return synthesize_fsmd_system(
             program, info, function,
             flow_key=self.metadata.key,

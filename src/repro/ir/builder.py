@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..analysis.pointer import PointerPlan, plan_pointers
 from ..lang import ast_nodes as ast
-from ..lang.errors import SemanticError
+from ..lang.errors import SemanticError, SourceLocation, UNKNOWN_LOCATION
 from ..lang.semantic import SemanticInfo
 from ..lang.symtab import Symbol, SymbolKind
 from ..lang.types import (
@@ -108,6 +108,9 @@ class CDFGBuilder:
         # cross a block boundary (e.g. around a lowered ternary) through a
         # temporary register, keeping VRegs strictly block-local wires.
         self._vreg_block: Dict[VReg, BasicBlock] = {}
+        # Source statement currently being lowered; stamped onto emitted ops
+        # so CDFG-level diagnostics can point at source lines.
+        self._loc: Optional[SourceLocation] = None
 
     # ------------------------------------------------------------------
     # Public entry
@@ -142,11 +145,15 @@ class CDFGBuilder:
         self._registers.setdefault(symbol, None)
         if symbol.kind is SymbolKind.GLOBAL:
             self.cdfg.globals_read.add(symbol)
+            if self._loc is not None:
+                self.cdfg.global_read_sites.setdefault(symbol, self._loc)
 
     def _note_array(self, symbol: Symbol) -> None:
         self._arrays.setdefault(symbol, None)
         if symbol.kind is SymbolKind.GLOBAL:
             self.cdfg.globals_read.add(symbol)
+            if self._loc is not None:
+                self.cdfg.global_read_sites.setdefault(symbol, self._loc)
 
     def _localize(self, operand: Operand) -> Operand:
         """Make ``operand`` usable in the current block.  A VReg computed in
@@ -173,7 +180,8 @@ class CDFGBuilder:
         operands = [self._localize(o) for o in operands]
         dest = VReg(dest_type) if dest_type is not None else None
         op = Operation(kind=kind, dest=dest, operands=operands,
-                       constraint=self.constraint_group, **attrs)
+                       constraint=self.constraint_group,
+                       location=self._loc, **attrs)
         self.block.append(op)
         if dest is not None:
             self._vreg_block[dest] = self.block
@@ -217,6 +225,8 @@ class CDFGBuilder:
         self._note_register(symbol)
         if symbol.kind is SymbolKind.GLOBAL:
             self.cdfg.globals_written.add(symbol)
+            if self._loc is not None:
+                self.cdfg.global_write_sites.setdefault(symbol, self._loc)
         value = self._localize(self._cast_to(self._localize(value), symbol.type))
         self.current_values[symbol] = value
         self.block.var_writes[symbol] = value
@@ -244,6 +254,8 @@ class CDFGBuilder:
                 return  # the rest of this block is unreachable
 
     def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if stmt.location != UNKNOWN_LOCATION:
+            self._loc = stmt.location
         if isinstance(stmt, ast.Block):
             self._lower_block(stmt)
         elif isinstance(stmt, ast.VarDecl):
@@ -392,6 +404,8 @@ class CDFGBuilder:
         self._note_array(array)
         if array.kind is SymbolKind.GLOBAL:
             self.cdfg.globals_written.add(array)
+            if self._loc is not None:
+                self.cdfg.global_write_sites.setdefault(array, self._loc)
         self._emit(OpKind.STORE, None, [index, value], array=array)
 
     def _store_through(self, pointer: _PtrValue, value: Operand, target_type) -> None:

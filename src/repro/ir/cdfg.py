@@ -14,6 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from ..lang.errors import SourceLocation
 from ..lang.symtab import Symbol
 from ..lang.types import Type
 from .ops import Branch, Const, Jump, Operand, Operation, OpKind, Ret, Terminator, VReg, VarRead
@@ -78,6 +79,9 @@ class FunctionCDFG:
         self.arrays: List[Symbol] = []
         self.globals_read: Set[Symbol] = set()
         self.globals_written: Set[Symbol] = set()
+        # First source site of each global access, for race diagnostics.
+        self.global_read_sites: Dict[Symbol, "SourceLocation"] = {}
+        self.global_write_sites: Dict[Symbol, "SourceLocation"] = {}
         self.constraints: List[TimingConstraint] = []
 
     def new_block(self, label: str = "") -> BasicBlock:

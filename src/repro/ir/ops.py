@@ -21,6 +21,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..lang.errors import SourceLocation
 from ..lang.symtab import Symbol
 from ..lang.types import Type
 
@@ -110,6 +111,7 @@ class Operation:
     callee: str = ""                  # CALL target
     cycles: int = 0                   # DELAY count
     constraint: Optional[int] = None  # `within` group id, if any
+    location: Optional[SourceLocation] = None  # source statement, if known
     id: int = field(default_factory=lambda: next(_op_ids))
 
     def __hash__(self) -> int:

@@ -102,6 +102,14 @@ def _match_counted_loop(loop: ast.For) -> Optional[_CountedLoop]:
     return _CountedLoop(var=var, start=start, step=step, trip_count=count, declares_var=declares)
 
 
+def loop_trip_count(loop: ast.For) -> Optional[int]:
+    """The static trip count of ``loop``, or None if it is not a counted
+    affine loop (the same test unrolling uses).  Public for the linter's
+    unbounded-latency rule."""
+    info = _match_counted_loop(loop)
+    return info.trip_count if info is not None else None
+
+
 def _trip_count(start: int, op: str, bound: int, step: int) -> Optional[int]:
     if op == "<" and step > 0:
         return max(0, -(-(bound - start) // step)) if bound > start else 0

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from . import ast_nodes as ast
-from .errors import SemanticError
+from .errors import SemanticError, SourceLocation, UNKNOWN_LOCATION
 from .symtab import ScopeStack, Symbol, SymbolKind
 from .types import (
     ArrayType,
@@ -62,6 +62,14 @@ class FunctionInfo:
     locals: List[Symbol] = field(default_factory=list)
     features: Set[str] = field(default_factory=set)
     callees: Set[str] = field(default_factory=set)
+    # First source site where each feature was used (diagnostics point here).
+    feature_sites: Dict[str, SourceLocation] = field(default_factory=dict)
+
+    def note(self, feature: str, location: SourceLocation) -> None:
+        """Record a feature use and remember its first source site."""
+        self.features.add(feature)
+        if location != UNKNOWN_LOCATION:
+            self.feature_sites.setdefault(feature, location)
 
 
 @dataclass
@@ -88,6 +96,22 @@ class SemanticInfo:
             features |= info.features
             work.extend(info.callees)
         return features
+
+    def feature_site(self, root: str, feature: str) -> SourceLocation:
+        """First recorded source site of ``feature`` in ``root`` or any
+        function it reaches (breadth-first, so the nearest use wins)."""
+        seen: Set[str] = set()
+        work = [root]
+        while work:
+            name = work.pop(0)
+            if name in seen or name not in self.functions:
+                continue
+            seen.add(name)
+            info = self.functions[name]
+            if feature in info.feature_sites:
+                return info.feature_sites[feature]
+            work.extend(sorted(info.callees))
+        return UNKNOWN_LOCATION
 
     def is_recursive(self, root: str) -> bool:
         """Whether any call cycle is reachable from ``root``."""
@@ -266,9 +290,9 @@ class SemanticAnalyzer:
                 param.symbol = symbol  # type: ignore[attr-defined]
                 info.params.append(symbol)
                 if isinstance(param.param_type, PointerType):
-                    info.features.add(FEATURE_POINTERS)
+                    info.note(FEATURE_POINTERS, param.location)
                 if isinstance(param.param_type, ArrayType):
-                    info.features.add(FEATURE_ARRAYS)
+                    info.note(FEATURE_ARRAYS, param.location)
             self._check_block(fn.body, fn.return_type, new_scope=False)
         finally:
             self.scopes.pop()
@@ -307,13 +331,13 @@ class SemanticAnalyzer:
             if stmt.otherwise is not None:
                 self._check_stmt(stmt.otherwise, return_type)
         elif isinstance(stmt, (ast.While, ast.DoWhile)):
-            info.features.add(FEATURE_LOOPS)
+            info.note(FEATURE_LOOPS, stmt.location)
             self._require_scalar(self._check_expr(stmt.cond), stmt.cond)
             self._loop_depth += 1
             self._check_stmt(stmt.body, return_type)
             self._loop_depth -= 1
         elif isinstance(stmt, ast.For):
-            info.features.add(FEATURE_LOOPS)
+            info.note(FEATURE_LOOPS, stmt.location)
             self.scopes.push()
             try:
                 if stmt.init is not None:
@@ -353,18 +377,18 @@ class SemanticAnalyzer:
             if self._loop_depth == 0:
                 raise SemanticError("continue outside of a loop", stmt.location)
         elif isinstance(stmt, ast.Par):
-            info.features.add(FEATURE_PAR)
+            info.note(FEATURE_PAR, stmt.location)
             self._check_par(stmt, return_type)
         elif isinstance(stmt, ast.Seq):
             self._check_block(stmt.body, return_type)
         elif isinstance(stmt, ast.Wait):
-            info.features.add(FEATURE_WAIT)
+            info.note(FEATURE_WAIT, stmt.location)
         elif isinstance(stmt, ast.Delay):
-            info.features.add(FEATURE_DELAY)
+            info.note(FEATURE_DELAY, stmt.location)
             if stmt.cycles < 0:
                 raise SemanticError("delay count must be non-negative", stmt.location)
         elif isinstance(stmt, ast.Within):
-            info.features.add(FEATURE_WITHIN)
+            info.note(FEATURE_WITHIN, stmt.location)
             if stmt.cycles <= 0:
                 raise SemanticError("within bound must be positive", stmt.location)
             if self._within_depth > 0:
@@ -385,7 +409,7 @@ class SemanticAnalyzer:
             self._check_block(stmt.body, return_type)
             self._within_depth -= 1
         elif isinstance(stmt, ast.Send):
-            info.features.add(FEATURE_CHANNELS)
+            info.note(FEATURE_CHANNELS, stmt.location)
             channel = self._resolve_channel(stmt.channel, stmt)
             stmt.symbol = channel  # type: ignore[attr-defined]
             value_type = self._check_expr(stmt.value)
@@ -422,9 +446,9 @@ class SemanticAnalyzer:
         decl.symbol = symbol  # type: ignore[attr-defined]
         self._current.locals.append(symbol)
         if isinstance(decl.var_type, PointerType):
-            self._current.features.add(FEATURE_POINTERS)
+            self._current.note(FEATURE_POINTERS, decl.location)
         if isinstance(decl.var_type, ArrayType):
-            self._current.features.add(FEATURE_ARRAYS)
+            self._current.note(FEATURE_ARRAYS, decl.location)
         if isinstance(decl.var_type, ArrayType):
             if decl.init is not None:
                 raise SemanticError(
@@ -556,14 +580,14 @@ class SemanticAnalyzer:
         if isinstance(expr, ast.UnaryOp):
             operand_type = self._check_expr(expr.operand)
             if expr.op == "*":
-                info.features.add(FEATURE_POINTERS)
+                info.note(FEATURE_POINTERS, expr.location)
                 if not isinstance(operand_type, PointerType):
                     raise SemanticError(
                         f"cannot dereference non-pointer {operand_type}", expr.location
                     )
                 return operand_type.target
             if expr.op == "&":
-                info.features.add(FEATURE_POINTERS)
+                info.note(FEATURE_POINTERS, expr.location)
                 if not ast.is_lvalue(expr.operand) and not isinstance(
                     expr.operand, ast.Identifier
                 ):
@@ -599,9 +623,9 @@ class SemanticAnalyzer:
                     )
                 return BOOL
             if expr.op in ("/", "%"):
-                info.features.add(FEATURE_DIVISION)
+                info.note(FEATURE_DIVISION, expr.location)
             if expr.op == "*":
-                info.features.add(FEATURE_MULTIPLY)
+                info.note(FEATURE_MULTIPLY, expr.location)
             if expr.op in ("<<", ">>"):
                 if not isinstance(left, (IntType, BoolType)) or not isinstance(
                     right, (IntType, BoolType)
@@ -617,7 +641,7 @@ class SemanticAnalyzer:
                     expr.location,
                 )
             if isinstance(combined, PointerType):
-                info.features.add(FEATURE_POINTERS)
+                info.note(FEATURE_POINTERS, expr.location)
             return combined
         if isinstance(expr, ast.Conditional):
             self._require_scalar(self._check_expr(expr.cond), expr.cond)
@@ -635,11 +659,11 @@ class SemanticAnalyzer:
             base_type = self._check_expr(expr.base)
             index_type = self._check_expr(expr.index)
             self._require_scalar(index_type, expr.index)
-            info.features.add(FEATURE_ARRAYS)
+            info.note(FEATURE_ARRAYS, expr.location)
             if isinstance(base_type, ArrayType):
                 return base_type.element
             if isinstance(base_type, PointerType):
-                info.features.add(FEATURE_POINTERS)
+                info.note(FEATURE_POINTERS, expr.location)
                 return base_type.target
             raise SemanticError(f"cannot index into {base_type}", expr.location)
         if isinstance(expr, ast.Call):
@@ -670,11 +694,11 @@ class SemanticAnalyzer:
                         f" of type {param_type}",
                         arg.location,
                     )
-            info.features.add(FEATURE_CALLS)
+            info.note(FEATURE_CALLS, expr.location)
             info.callees.add(expr.callee)
             return fn_type.result
         if isinstance(expr, ast.Receive):
-            info.features.add(FEATURE_CHANNELS)
+            info.note(FEATURE_CHANNELS, expr.location)
             channel = self._resolve_channel(expr.channel, expr)
             expr.symbol = channel  # type: ignore[attr-defined]
             assert isinstance(channel.type, ChannelType)
@@ -689,5 +713,6 @@ def analyze(program: ast.Program) -> SemanticInfo:
     # participates in or reaches a cycle.
     for name in info.functions:
         if info.is_recursive(name):
-            info.functions[name].features.add(FEATURE_RECURSION)
+            fn_info = info.functions[name]
+            fn_info.note(FEATURE_RECURSION, fn_info.symbol.location)
     return info
