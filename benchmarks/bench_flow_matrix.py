@@ -5,69 +5,74 @@ programs, one frontend, eleven language semantics.  For each accepting
 (workload, flow) pair the table reports cycles, estimated clock, latency,
 and area; rejections print the historical reason.  Functional equivalence
 against the golden model is asserted for every cell.
+
+The matrix runs three times through the ``repro sweep`` engine — serial
+cold, parallel cold, and cache-warm — and the per-mode wall times are
+recorded alongside the table.  The three runs must agree cell for cell
+(``CellResult.identity()``); the timings are reported, not asserted,
+because CI hosts may expose a single core.
 """
 
-import pytest
+import time
 
-from repro.flows import COMPILABLE, FlowError, REGISTRY, UnsupportedFeature
-from repro.interp import run_program
-from repro.lang import parse
-from repro.report import format_table
-from repro.workloads import WORKLOADS
+from repro.flows import COMPILABLE
+from repro.report import format_cell_results, format_table, summarize_cells
+from repro.runner import OK, REJECTED, suite_tasks
 
 
-def run_matrix():
-    rows = []
-    rejections = []
-    mismatches = 0
-    for workload in WORKLOADS:
-        program, info = parse(workload.source)
-        golden = run_program(program, info, "main", workload.args)
-        for key in COMPILABLE:
-            try:
-                design = REGISTRY[key].compile(program, info, "main")
-                result = design.run(args=workload.args)
-            except (UnsupportedFeature, FlowError) as rejection:
-                rejections.append([workload.name, key,
-                                   str(rejection).split("] ", 1)[-1][:60]])
-                continue
-            if result.value != golden.value:
-                mismatches += 1
-            cost = design.cost()
-            latency = (
-                result.cycles * cost.clock_ns
-                if cost.clock_ns > 0 else result.time_ns
-            )
-            rows.append([
-                workload.name, key, result.value, result.cycles,
-                f"{cost.clock_ns:.1f}", f"{latency:.0f}",
-                f"{cost.area_ge:.0f}",
-            ])
-    return rows, rejections, mismatches
+def _timed(engine, tasks):
+    start = time.perf_counter()
+    results = engine.run_cells(tasks)
+    return results, time.perf_counter() - start
 
 
-def test_flow_matrix(benchmark, save_report):
-    rows, rejections, mismatches = benchmark.pedantic(
-        run_matrix, rounds=1, iterations=1
-    )
-    assert mismatches == 0, "every accepted compilation must match golden"
-    text = format_table(
-        ["workload", "flow", "value", "cycles", "clock(ns)", "latency(ns)",
-         "area(GE)"],
-        rows,
-        title="T2: workload x flow synthesis matrix",
+def test_flow_matrix(sweep_runner, save_report):
+    tasks = suite_tasks()
+
+    serial, cold_s = _timed(sweep_runner(jobs=1), tasks)
+    parallel, par_s = _timed(sweep_runner(jobs=4), tasks)
+    primed, prime_s = _timed(sweep_runner(jobs=4, cached=True), tasks)
+    warm, warm_s = _timed(sweep_runner(jobs=4, cached=True), tasks)
+
+    # The determinism contract: all four modes agree on every cell.
+    baseline = [r.identity() for r in serial]
+    for other in (parallel, primed, warm):
+        assert [r.identity() for r in other] == baseline
+    assert all(r.cached for r in warm)
+
+    summary = summarize_cells(serial)
+    assert summary["unexpected"] == 0, \
+        "every accepted compilation must match golden"
+
+    ok = [r for r in serial if r.verdict == OK]
+    rejections = [r for r in serial if r.verdict == REJECTED]
+
+    # Coverage: most cells compile; every flow accepts something.
+    assert len(ok) >= 120
+    assert {r.flow for r in ok} == set(COMPILABLE)
+    # Rejections follow Table 1's feature boundaries, not randomness.
+    rejecting_flows = {r.flow for r in rejections}
+    assert "cones" in rejecting_flows          # dynamic bounds/pointers
+    assert "transmogrifier" in rejecting_flows # channels/par/pointers
+
+    text = format_cell_results(
+        ok, title="T2: workload x flow synthesis matrix"
     )
     text += "\n\n" + format_table(
         ["workload", "flow", "rejection (historical restriction)"],
-        rejections,
+        [[r.workload, r.flow, r.note(60)] for r in rejections],
         title="T2 rejections",
     )
+    text += "\n\n" + format_table(
+        ["mode", "wall(s)", "vs serial cold"],
+        [
+            ["serial cold", f"{cold_s:.2f}", "1.0x"],
+            ["parallel cold (4 jobs)", f"{par_s:.2f}",
+             f"{cold_s / par_s:.1f}x"],
+            ["parallel cold + cache store", f"{prime_s:.2f}",
+             f"{cold_s / prime_s:.1f}x"],
+            ["cache warm", f"{warm_s:.2f}", f"{cold_s / warm_s:.1f}x"],
+        ],
+        title=f"T2 runner modes ({summary['cells']} cells)",
+    )
     save_report("t2_flow_matrix", text)
-    # Coverage: most cells compile; every flow accepts something.
-    assert len(rows) >= 120
-    flows_seen = {r[1] for r in rows}
-    assert flows_seen == set(COMPILABLE)
-    # Rejections follow Table 1's feature boundaries, not randomness.
-    rejecting_flows = {r[1] for r in rejections}
-    assert "cones" in rejecting_flows          # dynamic bounds/pointers
-    assert "transmogrifier" in rejecting_flows # channels/par/pointers

@@ -4,21 +4,27 @@ The linter's value proposition is predicting a flow's rejection without
 paying for the compile.  This benchmark measures both halves of that claim
 over the full workload suite x every compilable flow:
 
-* wall-time of ``lint()`` against wall-time of actually attempting the
-  compile (the cost the pre-flight saves on rejected pairs), and
-* exact agreement — clean => compiles, errors => rejected — which must be
-  100% for the pre-flight to be trustworthy.
+* wall-time of ``lint()`` against the wall-time the matrix runner spent
+  actually compiling and simulating each cell (the cost the pre-flight
+  saves on rejected pairs), and
+* exact agreement — clean => the runner's verdict is ``ok``, errors =>
+  ``rejected`` — which must be 100% for the pre-flight to be trustworthy.
+
+The compile side comes from the shared ``suite_results`` sweep, so the
+linter is validated against the same structured ``CellResult``s that
+``repro sweep`` and the differential tests consume.
 """
 
 import time
 
 from repro.analysis.lint import lint
-from repro.flows import COMPILABLE, FlowError, REGISTRY, UnsupportedFeature
+from repro.flows import COMPILABLE
 from repro.report import format_table
+from repro.runner import OK, REJECTED
 from repro.workloads import WORKLOADS
 
 
-def run_lint_suite():
+def run_lint_suite(cells):
     rows = []
     total_lint_ms = 0.0
     total_compile_ms = 0.0
@@ -33,21 +39,17 @@ def run_lint_suite():
         rejected_by_lint = 0
         rejected_by_compile = 0
         matched = 0
-        start = time.perf_counter()
+        compile_ms = 0.0
         for key in COMPILABLE:
             pairs += 1
+            cell = cells[(w.name, key)]
+            compile_ms += cell.wall_s * 1000.0
             clean = report.is_clean(key)
-            try:
-                REGISTRY[key].compile_source(w.source)
-                compiled = True
-            except (UnsupportedFeature, FlowError):
-                compiled = False
             rejected_by_lint += 0 if clean else 1
-            rejected_by_compile += 0 if compiled else 1
-            if clean == compiled:
+            rejected_by_compile += 1 if cell.verdict == REJECTED else 0
+            if clean == (cell.verdict == OK):
                 matched += 1
                 agree += 1
-        compile_ms = (time.perf_counter() - start) * 1000.0
         total_compile_ms += compile_ms
 
         rows.append([
@@ -61,9 +63,10 @@ def run_lint_suite():
     return rows, summary
 
 
-def test_lint_throughput(benchmark, save_report):
+def test_lint_throughput(benchmark, save_report, suite_results):
+    cells = {(r.workload, r.flow): r for r in suite_results}
     rows, (pairs, agree, lint_ms, compile_ms) = benchmark.pedantic(
-        run_lint_suite, rounds=1, iterations=1
+        run_lint_suite, args=(cells,), rounds=1, iterations=1
     )
     text = format_table(
         ["workload", "category", "lint rejects", "compile rejects",

@@ -5,11 +5,18 @@ experiment from DESIGN.md/EXPERIMENTS.md) and writes the resulting table
 or series to ``benchmarks/results/<name>.txt`` so the numbers survive the
 pytest run.  The ``benchmark`` fixture times each experiment's core
 computation.
+
+Matrix-shaped benchmarks (T2, E13) go through the same
+:class:`repro.runner.MatrixEngine` as ``repro sweep``: the ``sweep_runner``
+fixture hands out engines, and ``suite_results`` is one shared parallel
+sweep of the full workload × flow matrix as structured ``CellResult``s.
 """
 
 import pathlib
 
 import pytest
+
+from repro.runner import ArtifactCache, MatrixEngine, suite_tasks
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -23,3 +30,23 @@ def save_report():
         print(f"\n{text}\n")
 
     return _save
+
+
+@pytest.fixture(scope="session")
+def sweep_runner(tmp_path_factory):
+    """Factory for matrix engines; ``cached=True`` engines share one
+    session-local artifact cache directory (never the user's real one)."""
+    cache_root = tmp_path_factory.mktemp("matrix-cache")
+
+    def _make(jobs: int = 1, cached: bool = False) -> MatrixEngine:
+        cache = ArtifactCache(cache_root) if cached else None
+        return MatrixEngine(jobs=jobs, cache=cache)
+
+    return _make
+
+
+@pytest.fixture(scope="session")
+def suite_results(sweep_runner):
+    """One parallel sweep of the full workload × flow matrix, shared by
+    every benchmark that consumes per-cell results."""
+    return sweep_runner(jobs=4).run_cells(suite_tasks())

@@ -6,10 +6,15 @@ Commands
     Compile and simulate a program; prints value, cycles, cost.
 ``compile FILE --flow KEY [-o OUT.v]``
     Compile and emit Verilog.
-``matrix FILE [--args ...] [--lint]``
-    Run one program through every flow, printing the comparison table.
-    ``--lint`` pre-flights each flow with the linter and skips compiles
-    the linter already rejects.
+``matrix FILE [--args ...] [--lint] [--jobs N] [--cache-dir D | --no-cache]``
+    Run one program through every flow, printing the comparison table
+    with per-cell wall-clock times.  ``--lint`` pre-flights each flow with
+    the linter and skips compiles the linter already rejects.  Exits
+    nonzero if any flow errors, times out, or mismatches the golden model
+    (historical rejections are expected and exit zero).
+``sweep [--jobs N] [--cache-dir D | --no-cache] [--flows ...] [--workloads ...]``
+    The full workload × flow matrix through the parallel runner with the
+    content-addressed artifact cache; unchanged cells replay from disk.
 ``lint FILE [--flow KEY | --all]``
     Predict, per flow, what compile would reject — with rule ids, source
     locations, and fix hints — without running any backend.
@@ -34,8 +39,7 @@ from .flows import (
     compile_flow,
     table1_rows,
 )
-from .interp import run_source
-from .report import format_table
+from .report import format_cell_results, format_table
 
 
 def _parse_args_list(text: Optional[str]) -> Tuple[int, ...]:
@@ -120,42 +124,113 @@ def cmd_lint(options: argparse.Namespace) -> int:
     return 0
 
 
+def _make_cache(options: argparse.Namespace):
+    from .runner import DEFAULT_CACHE_DIR, ArtifactCache
+
+    if getattr(options, "no_cache", False):
+        return None
+    return ArtifactCache(getattr(options, "cache_dir", None) or DEFAULT_CACHE_DIR)
+
+
+def _make_engine(options: argparse.Namespace):
+    from .runner import MatrixEngine
+
+    return MatrixEngine(
+        jobs=getattr(options, "jobs", 1),
+        cache=_make_cache(options),
+        timeout_s=getattr(options, "timeout", None) or 60.0,
+    )
+
+
+def _print_summary(results, engine) -> None:
+    from .report import summarize_cells
+
+    summary = summarize_cells(results)
+    verdicts = "  ".join(
+        f"{name}: {count}" for name, count in sorted(summary["verdicts"].items())
+    )
+    line = (
+        f"\n{summary['cells']} cells ({verdicts})"
+        f"  |  {summary['cached']} cached / {summary['fresh']} fresh"
+        f"  |  cell wall time {summary['wall_s']:.2f}s"
+    )
+    if engine.cache is not None:
+        line += f"  |  cache: {engine.cache.hits} hits, {engine.cache.misses} misses"
+    print(line)
+
+
 def cmd_matrix(options: argparse.Namespace) -> int:
+    from .runner import CellTask, file_tasks
+
     source = _read(options.file)
     args = _parse_args_list(options.args)
-    golden = run_source(source, args=args)
-    print(f"golden model: value = {golden.value}\n")
-    report = None
+    engine = _make_engine(options)
+    probe = CellTask(workload=options.file, source=source, flow="probe",
+                     function=options.function, args=args)
+    golden = engine.golden_observable(probe)
+    if golden is None:
+        print("golden model: interpreter could not run this program")
+    else:
+        print(f"golden model: value = {golden[0]}\n")
+
+    selected = list(COMPILABLE)
+    lint_cells = []
     if options.lint:
-        report = lint(source, flows=list(COMPILABLE),
-                      function=options.function, filename=options.file)
-    rows: List[List[object]] = []
-    for key in COMPILABLE:
-        if report is not None and not report.is_clean(key):
-            first = report.errors(key)[0]
-            rows.append([key, "lint:reject", "-", "-", "-",
-                         f"{first.rule}: {first.message}"[:44]])
-            continue
+        from .runner import CellResult
+
+        report = lint(source, flows=selected, function=options.function,
+                      filename=options.file)
+        for key in list(selected):
+            if not report.is_clean(key):
+                first = report.errors(key)[0]
+                lint_cells.append(CellResult(
+                    workload=options.file, flow=key, args=args,
+                    verdict="lint:reject",
+                    diagnostics=[f"{first.rule}: {first.message}"],
+                ))
+                selected.remove(key)
+
+    tasks = file_tasks(source, name=options.file, flows=selected,
+                       function=options.function, args=args)
+    results = engine.run_cells(tasks)
+    print(format_cell_results(results + lint_cells, show_workload=False))
+    _print_summary(results, engine)
+    # Historical rejections are the paper working as documented; anything
+    # else (error, timeout, golden-model mismatch) fails the run.
+    return 1 if any(cell.unexpected for cell in results) else 0
+
+
+def cmd_sweep(options: argparse.Namespace) -> int:
+    from .report import summarize_cells
+    from .runner import suite_tasks
+    from .workloads import suite as workload_suite
+
+    flows = None
+    if options.flows:
+        flows = [key.strip() for key in options.flows.split(",") if key.strip()]
+        for key in flows:
+            if key not in REGISTRY:
+                print(f"error: unknown flow {key!r}", file=sys.stderr)
+                return 2
+    workloads = None
+    if options.workloads:
+        names = [n.strip() for n in options.workloads.split(",") if n.strip()]
         try:
-            design = REGISTRY[key].compile_source(source, function=options.function)
-            result = design.run(args=args)
-        except (UnsupportedFeature, FlowError) as rejection:
-            rows.append([key, "rejected", "-", "-", "-",
-                         str(rejection).split("] ", 1)[-1][:44]])
-            continue
-        cost = design.cost()
-        status = "OK" if result.value == golden.value else "MISMATCH"
-        latency = (
-            f"{result.cycles * cost.clock_ns:.0f}"
-            if cost.clock_ns > 0 else f"{result.time_ns:.0f}"
-        )
-        rows.append([key, status,
-                     result.cycles if cost.clock_ns > 0 else "-",
-                     latency, f"{cost.area_ge:.0f}", ""])
-    print(format_table(
-        ["flow", "status", "cycles", "latency(ns)", "area(GE)", "note"], rows
+            workloads = [workload_suite.get(name) for name in names]
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    engine = _make_engine(options)
+    tasks = suite_tasks(workloads=workloads, flows=flows)
+    results = engine.run_cells(tasks)
+    print(format_cell_results(
+        results,
+        title=f"sweep: {len(results)} cells, jobs={engine.jobs}",
     ))
-    return 0
+    _print_summary(results, engine)
+    summary = summarize_cells(results)
+    return 1 if summary["unexpected"] else 0
 
 
 def cmd_table1(_: argparse.Namespace) -> int:
@@ -203,6 +278,17 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("-o", "--output")
     compile_parser.set_defaults(handler=cmd_compile)
 
+    def add_runner_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial)")
+        p.add_argument("--cache-dir",
+                       help="artifact cache directory"
+                            " (default: $REPRO_CACHE_DIR or ~/.cache/repro/matrix)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the content-addressed artifact cache")
+        p.add_argument("--timeout", type=float,
+                       help="per-cell wall-clock deadline in seconds (default 60)")
+
     matrix_parser = sub.add_parser("matrix", help="all flows on one program")
     matrix_parser.add_argument("file")
     matrix_parser.add_argument("--function", default="main")
@@ -211,7 +297,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--lint", action="store_true",
         help="pre-flight each flow with the linter; skip predicted rejects",
     )
+    add_runner_flags(matrix_parser)
     matrix_parser.set_defaults(handler=cmd_matrix)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="the full workload x flow matrix through the runner"
+    )
+    sweep_parser.add_argument(
+        "--flows", help="comma-separated flow keys (default: all compilable)"
+    )
+    sweep_parser.add_argument(
+        "--workloads", help="comma-separated workload names (default: all)"
+    )
+    add_runner_flags(sweep_parser)
+    sweep_parser.set_defaults(handler=cmd_sweep)
 
     lint_parser = sub.add_parser(
         "lint", help="predict per-flow rejections without compiling"

@@ -32,6 +32,7 @@ from .registry import (
     REGISTRY,
     compile_flow,
     get_flow,
+    registry_fingerprint,
     run_flow,
     table1_rows,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "UnsupportedFeature",
     "compile_flow",
     "get_flow",
+    "registry_fingerprint",
     "run_flow",
     "table1_rows",
 ]

@@ -54,6 +54,16 @@ class FlowError(Exception):
         self.location = location
         self.reason = message
 
+    def __reduce__(self):
+        # Exception's default reduce replays __init__ with self.args (the
+        # formatted text), which does not match this signature; rebuild
+        # from the original fields so rejections cross process boundaries
+        # intact (the parallel matrix runner pickles them).
+        return (
+            self.__class__,
+            (self.flow, self.reason, self.rule, self.location),
+        )
+
 
 class UnsupportedFeature(FlowError):
     """The historical tool this flow models did not support the feature."""
@@ -95,6 +105,24 @@ class FlowResult:
             )),
             tuple(sorted((k, tuple(v)) for k, v in self.channel_log.items())),
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot (stats are filtered to scalars so
+        arbitrary flow bookkeeping cannot break serialization)."""
+        return {
+            "value": self.value,
+            "cycles": self.cycles,
+            "time_ns": self.time_ns,
+            "globals": {
+                k: list(v) if isinstance(v, (list, tuple)) else v
+                for k, v in self.globals.items()
+            },
+            "channel_log": {k: list(v) for k, v in self.channel_log.items()},
+            "stats": {
+                k: v for k, v in self.stats.items()
+                if isinstance(v, (int, float, str, bool))
+            },
+        }
 
 
 @dataclass

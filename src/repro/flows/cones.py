@@ -226,11 +226,15 @@ class _Flattener:
         env = dict(env)
         arrays = {k: list(v) for k, v in arrays.items()}
         for other_cond, other_env, other_arrays in sources[1:]:
-            for symbol in set(env) | set(other_env):
+            # Order-preserving unions: Symbol hashing is identity-based, so
+            # a set union here would make netlist op order (and hence the
+            # emitted RTL) vary run to run.
+            for symbol in [*env, *(s for s in other_env if s not in env)]:
                 a = env.get(symbol, Const(0, symbol.type))
                 b = other_env.get(symbol, Const(0, symbol.type))
                 env[symbol] = self._select(other_cond, b, a, symbol.type)
-            for array in set(arrays) | set(other_arrays):
+            for array in [*arrays,
+                          *(a for a in other_arrays if a not in arrays)]:
                 element_type = array.type.element  # type: ignore[union-attr]
                 current = arrays.get(array, [])
                 incoming = other_arrays.get(array, current)

@@ -131,6 +131,21 @@ def lint_rules(key: str) -> Tuple[Rule, ...]:
     return result
 
 
+def registry_fingerprint() -> str:
+    """A digest of the registry's semantic surface: flow keys, class names,
+    and each flow's feature table.  The artifact cache folds this into
+    every cell key, so editing a flow's restrictions (or adding a flow)
+    invalidates exactly the cached results that could change."""
+    import hashlib
+
+    parts = []
+    for key in sorted(REGISTRY):
+        flow = REGISTRY[key]
+        forbidden = ",".join(sorted(flow.FORBIDDEN))
+        parts.append(f"{key}:{type(flow).__name__}:{forbidden}")
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+
+
 def table1_rows() -> List[Dict[str, str]]:
     """Table 1, regenerated from the implemented registry."""
     rows = []

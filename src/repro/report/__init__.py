@@ -1,5 +1,17 @@
 """Result formatting for experiments and benchmarks."""
 
-from .tables import format_dict, format_series, format_table
+from .tables import (
+    format_cell_results,
+    format_dict,
+    format_series,
+    format_table,
+    summarize_cells,
+)
 
-__all__ = ["format_dict", "format_series", "format_table"]
+__all__ = [
+    "format_cell_results",
+    "format_dict",
+    "format_series",
+    "format_table",
+    "summarize_cells",
+]

@@ -51,6 +51,53 @@ def format_series(
     return "\n".join(out)
 
 
+def format_cell_results(
+    results: Sequence,
+    title: Optional[str] = None,
+    show_workload: bool = True,
+) -> str:
+    """Render matrix-runner :class:`~repro.runner.CellResult`s as the
+    standard sweep table (used by ``repro matrix``, ``repro sweep``, and
+    the T2 benchmark so every consumer prints the same shape)."""
+    headers = ["flow", "verdict", "cycles", "latency(ns)", "area(GE)",
+               "time(ms)", "src", "note"]
+    if show_workload:
+        headers.insert(0, "workload")
+    rows: List[List[object]] = []
+    for cell in results:
+        if cell.verdict == "ok":
+            cycles = cell.cycles if cell.clock_ns > 0 else "-"
+            latency = f"{cell.latency_ns:.0f}"
+            area = f"{cell.area_ge:.0f}"
+        else:
+            cycles = latency = area = "-"
+        row: List[object] = [
+            cell.flow, cell.verdict, cycles, latency, area,
+            f"{cell.wall_s * 1000:.1f}",
+            "cache" if cell.cached else "fresh",
+            cell.note(),
+        ]
+        if show_workload:
+            row.insert(0, cell.workload)
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def summarize_cells(results: Sequence) -> Dict[str, object]:
+    """Counts and totals for a sweep's footer line."""
+    verdicts: Dict[str, int] = {}
+    for cell in results:
+        verdicts[cell.verdict] = verdicts.get(cell.verdict, 0) + 1
+    return {
+        "cells": len(results),
+        "verdicts": verdicts,
+        "cached": sum(1 for c in results if c.cached),
+        "fresh": sum(1 for c in results if not c.cached),
+        "wall_s": sum(c.wall_s for c in results),
+        "unexpected": sum(1 for c in results if c.unexpected),
+    }
+
+
 def format_dict(name: str, data: Dict[str, object]) -> str:
     width = max((len(k) for k in data), default=1)
     lines = [name]

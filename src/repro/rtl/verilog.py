@@ -15,6 +15,7 @@ the simulator's semantics.
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Optional, Set
 
 from ..lang.symtab import Symbol, SymbolKind
@@ -34,10 +35,48 @@ def _is_signed(value_type: Type) -> bool:
     return isinstance(value_type, IntType) and value_type.signed
 
 
-def _net_name(symbol: Symbol) -> str:
-    return symbol.unique_name.replace(".", "_").replace("~", "_").replace(
+_GENSYM = re.compile(r"~\d+")
+
+
+def _sanitize(text: str) -> str:
+    return text.replace(".", "_").replace("~", "_").replace(
         "[", "_"
     ).replace("]", "")
+
+
+class _Namer:
+    """Deterministic per-module net names.
+
+    Symbol ``unique_name``s embed a process-global disambiguation counter,
+    so reusing them would make the emitted text depend on everything
+    compiled earlier in the process.  The namer renumbers shadowed symbols
+    densely in emission order instead (and leaves unshadowed names bare),
+    making ``verilog()`` a pure function of the design — which is what
+    lets the matrix runner content-address RTL by hash."""
+
+    def __init__(self):
+        self._assigned: Dict[str, str] = {}
+        self._used: Set[str] = set()
+        self._next = 0
+
+    def __call__(self, symbol: Symbol) -> str:
+        key = symbol.unique_name
+        if key in self._assigned:
+            return self._assigned[key]
+        # ``~N`` is fresh_symbol's process-global gensym marker; drop it
+        # before renumbering locally.
+        base = _sanitize(_GENSYM.sub("", symbol.name))
+        if key == symbol.name and base not in self._used:
+            chosen = base
+        else:
+            chosen = f"{base}_{self._next}"
+            self._next += 1
+            while chosen in self._used:
+                chosen = f"{base}_{self._next}"
+                self._next += 1
+        self._used.add(chosen)
+        self._assigned[key] = chosen
+        return chosen
 
 
 _BINARY_VERILOG = {
@@ -51,8 +90,13 @@ _BINARY_VERILOG = {
 class _ExprPrinter:
     """Renders operand DAGs as Verilog expressions (inlined per use)."""
 
-    def __init__(self, producers: Dict[int, Operation]):
+    def __init__(self, producers: Dict[int, Operation], net: "_Namer",
+                 unbound: Optional[Dict[int, int]] = None):
         self.producers = producers
+        self.net = net
+        # Cross-state values have no producer here; number the placeholders
+        # densely per module so the text stays content-deterministic.
+        self.unbound = unbound if unbound is not None else {}
 
     def operand(self, operand: Operand) -> str:
         if isinstance(operand, Const):
@@ -61,10 +105,11 @@ class _ExprPrinter:
                 return f"-{width}'sd{abs(operand.value)}"
             return f"{width}'d{operand.value}"
         if isinstance(operand, VarRead):
-            return _net_name(operand.var)
+            return self.net(operand.var)
         producer = self.producers.get(operand.id)
         if producer is None:
-            return f"/*unbound*/ {operand}"
+            index = self.unbound.setdefault(operand.id, len(self.unbound))
+            return f"/*unbound*/ v{index}"
         return self.expression(producer)
 
     def expression(self, op: Operation) -> str:
@@ -90,10 +135,10 @@ class _ExprPrinter:
             )
         if op.kind is OpKind.LOAD:
             assert op.array is not None
-            return f"{_net_name(op.array)}[{self.operand(op.operands[0])}]"
+            return f"{self.net(op.array)}[{self.operand(op.operands[0])}]"
         if op.kind is OpKind.RECV:
             assert op.channel is not None
-            return f"{_net_name(op.channel)}_data_in"
+            return f"{self.net(op.channel)}_data_in"
         return f"/*{op.kind.value}*/ 0"
 
 
@@ -105,6 +150,7 @@ def emit_fsmd(fsmd: FSMD, module_name: Optional[str] = None) -> str:
     """One FSMD as a Verilog module."""
     name = module_name or f"fsmd_{fsmd.name}"
     lines: List[str] = []
+    net = _Namer()
     state_bits = max((fsmd.n_states - 1).bit_length(), 1)
     result_width = (
         _width_of(fsmd.return_type) if fsmd.return_type is not None else 32
@@ -121,16 +167,17 @@ def emit_fsmd(fsmd: FSMD, module_name: Optional[str] = None) -> str:
         if isinstance(param.type, ArrayType):
             continue
         width = _width_of(param.type)
-        ports.append(f"input wire [{width - 1}:0] arg_{_net_name(param)}")
-    for channel in sorted(channels, key=_net_name):
+        ports.append(f"input wire [{width - 1}:0] arg_{net(param)}")
+    # Channels are globals, so plain source names are unique among them.
+    for channel in sorted(channels, key=lambda s: s.name):
         width = _width_of(channel.type)
         ports += [
-            f"output reg {_net_name(channel)}_valid_out",
-            f"output reg [{width - 1}:0] {_net_name(channel)}_data_out",
-            f"input wire {_net_name(channel)}_ready_out",
-            f"input wire {_net_name(channel)}_valid_in",
-            f"input wire [{width - 1}:0] {_net_name(channel)}_data_in",
-            f"output reg {_net_name(channel)}_ready_in",
+            f"output reg {net(channel)}_valid_out",
+            f"output reg [{width - 1}:0] {net(channel)}_data_out",
+            f"input wire {net(channel)}_ready_out",
+            f"input wire {net(channel)}_valid_in",
+            f"input wire [{width - 1}:0] {net(channel)}_data_in",
+            f"output reg {net(channel)}_ready_in",
         ]
     ports += ["output reg done", f"output reg [{result_width - 1}:0] result"]
 
@@ -141,12 +188,12 @@ def emit_fsmd(fsmd: FSMD, module_name: Optional[str] = None) -> str:
     for symbol in fsmd.registers:
         width = _width_of(symbol.type)
         signed = " signed" if _is_signed(symbol.type) else ""
-        lines.append(f"    reg{signed} [{width - 1}:0] {_net_name(symbol)};")
+        lines.append(f"    reg{signed} [{width - 1}:0] {net(symbol)};")
     for array in fsmd.arrays:
         assert isinstance(array.type, ArrayType)
         width = _width_of(array.type.element)
         lines.append(
-            f"    reg [{width - 1}:0] {_net_name(array)}"
+            f"    reg [{width - 1}:0] {net(array)}"
             f" [0:{array.type.size - 1}];"
         )
     lines.append("")
@@ -158,12 +205,13 @@ def emit_fsmd(fsmd: FSMD, module_name: Optional[str] = None) -> str:
         if isinstance(param.type, ArrayType):
             continue
         lines.append(
-            f"            {_net_name(param)} <= arg_{_net_name(param)};"
+            f"            {net(param)} <= arg_{net(param)};"
         )
     lines.append("        end else begin")
     lines.append("            case (state)")
+    unbound: Dict[int, int] = {}
     for state in fsmd.states:
-        lines.extend(_emit_state(state, state_bits, fsmd))
+        lines.extend(_emit_state(state, state_bits, fsmd, net, unbound))
     lines.append("            endcase")
     lines.append("        end")
     lines.append("    end")
@@ -171,15 +219,16 @@ def emit_fsmd(fsmd: FSMD, module_name: Optional[str] = None) -> str:
     return "\n".join(lines)
 
 
-def _emit_state(state: State, state_bits: int, fsmd: FSMD) -> List[str]:
+def _emit_state(state: State, state_bits: int, fsmd: FSMD, net: _Namer,
+                unbound: Optional[Dict[int, int]] = None) -> List[str]:
     pad = "                "
     lines = [f"{pad}{state_bits}'d{state.id}: begin  // {state.label}"]
-    printer = _ExprPrinter(_collect_producers(state.ops))
+    printer = _ExprPrinter(_collect_producers(state.ops), net, unbound)
     channel_op = state.channel_op()
     guard = pad + "    "
     body_pad = guard
     if channel_op is not None:
-        chan = _net_name(channel_op.channel)  # type: ignore[arg-type]
+        chan = net(channel_op.channel)  # type: ignore[arg-type]
         if channel_op.kind is OpKind.SEND:
             lines.append(f"{guard}{chan}_valid_out <= 1'b1;")
             lines.append(
@@ -195,12 +244,12 @@ def _emit_state(state: State, state_bits: int, fsmd: FSMD) -> List[str]:
         if op.kind is OpKind.STORE:
             assert op.array is not None
             lines.append(
-                f"{body_pad}{_net_name(op.array)}"
+                f"{body_pad}{net(op.array)}"
                 f"[{printer.operand(op.operands[0])}] <="
                 f" {printer.operand(op.operands[1])};"
             )
     for symbol, value in state.latches.items():
-        lines.append(f"{body_pad}{_net_name(symbol)} <= {printer.operand(value)};")
+        lines.append(f"{body_pad}{net(symbol)} <= {printer.operand(value)};")
     lines.extend(_emit_transition(state.transition, printer, state_bits, body_pad))
     if channel_op is not None:
         lines.append(f"{guard}end")
@@ -253,30 +302,35 @@ def emit_combinational(netlist: CombinationalNetlist,
     """A Cones netlist as a module of continuous assignments."""
     name = module_name or f"cones_{netlist.name}"
     lines: List[str] = []
+    net = _Namer()
     ports: List[str] = []
     for symbol in netlist.inputs:
         width = _width_of(symbol.type)
-        ports.append(f"input wire [{width - 1}:0] {_net_name(symbol)}")
+        ports.append(f"input wire [{width - 1}:0] {net(symbol)}")
     for array, elements in netlist.element_inputs.items():
         for element in elements:
             width = _width_of(element.type)
-            ports.append(f"input wire [{width - 1}:0] {_net_name(element)}")
+            ports.append(f"input wire [{width - 1}:0] {net(element)}")
     out_width = (
         _width_of(netlist.output.type) if netlist.output is not None else 32
     )
     ports.append(f"output wire [{out_width - 1}:0] out")
     for symbol in netlist.global_outputs:
         width = _width_of(symbol.type)
-        ports.append(f"output wire [{width - 1}:0] g_{_net_name(symbol)}")
+        ports.append(f"output wire [{width - 1}:0] g_{net(symbol)}")
     lines.append(f"module {name} (")
     lines.append("    " + ",\n    ".join(ports))
     lines.append(");")
-    # Wire per op result, assigned in topological order.
+    # Wire per op result, assigned in topological order.  VReg ids come
+    # from a process-global counter, so wires are renumbered densely in
+    # netlist order to keep the text content-deterministic.
+    wire_index: Dict[int, int] = {}
     for op in netlist.ops:
         if op.dest is None:
             continue
+        wire_index[op.dest.id] = len(wire_index)
         width = _width_of(op.dest.type)
-        lines.append(f"    wire [{width - 1}:0] n{op.dest.id};")
+        lines.append(f"    wire [{width - 1}:0] n{wire_index[op.dest.id]};")
 
     def leaf(operand: Operand) -> str:
         if isinstance(operand, Const):
@@ -285,8 +339,8 @@ def emit_combinational(netlist: CombinationalNetlist,
                 return f"-{width}'sd{abs(operand.value)}"
             return f"{width}'d{operand.value}"
         if isinstance(operand, VarRead):
-            return _net_name(operand.var)
-        return f"n{operand.id}"
+            return net(operand.var)
+        return f"n{wire_index[operand.id]}"
 
     for op in netlist.ops:
         if op.dest is None:
@@ -308,11 +362,11 @@ def emit_combinational(netlist: CombinationalNetlist,
             )
         else:
             text = "0 /* unsupported */"
-        lines.append(f"    assign n{op.dest.id} = {text};")
+        lines.append(f"    assign n{wire_index[op.dest.id]} = {text};")
     if netlist.output is not None:
         lines.append(f"    assign out = {leaf(netlist.output)};")
     for symbol, operand in netlist.global_outputs.items():
-        lines.append(f"    assign g_{_net_name(symbol)} = {leaf(operand)};")
+        lines.append(f"    assign g_{net(symbol)} = {leaf(operand)};")
     lines.append("endmodule")
     return "\n".join(lines)
 
@@ -338,6 +392,9 @@ def emit_fsmd_testbench(
                 f" {fsmd.name} uses rendezvous channels"
             )
     dut = module_name or f"fsmd_{fsmd.name}"
+    # Mirror emit_fsmd's naming pass (params are seeded first there) so the
+    # testbench's arg_* port binds match the module's ports.
+    net = _Namer()
     scalar_params = [p for p in fsmd.params if not isinstance(p.type, ArrayType)]
     if len(args) != len(scalar_params):
         raise ValueError(
@@ -358,7 +415,7 @@ def emit_fsmd_testbench(
     port_binds = ["        .clk(clk),", "        .rst(rst),"]
     for param, value in zip(scalar_params, args):
         width = _width_of(param.type)
-        name = _net_name(param)
+        name = net(param)
         masked = value & ((1 << width) - 1)
         lines.append(f"    reg [{width - 1}:0] arg_{name} = {width}'d{masked};")
         port_binds.append(f"        .arg_{name}(arg_{name}),")

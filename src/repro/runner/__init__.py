@@ -1,0 +1,55 @@
+"""Parallel, content-addressed matrix execution.
+
+The runner is the one code path through which every consumer — the CLI's
+``matrix`` and ``sweep`` commands, the T2 benchmark, the differential
+co-simulation suite, and the lint cross-validation tests — executes the
+workload × flow matrix.  See :mod:`repro.runner.engine` for the execution
+model and :mod:`repro.runner.cache` for the artifact cache.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ArtifactCache, cell_key, environment_salt
+from .cells import (
+    CACHEABLE_VERDICTS,
+    ERROR,
+    MISMATCH,
+    OK,
+    REJECTED,
+    TIMEOUT,
+    UNEXPECTED_VERDICTS,
+    VERDICTS,
+    CellResult,
+    CellTask,
+    canonical_observable,
+)
+from .engine import (
+    DEFAULT_MAX_CYCLES,
+    DEFAULT_TIMEOUT_S,
+    MatrixEngine,
+    execute_cell,
+    file_tasks,
+    suite_tasks,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CACHEABLE_VERDICTS",
+    "CellResult",
+    "CellTask",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_MAX_CYCLES",
+    "DEFAULT_TIMEOUT_S",
+    "ERROR",
+    "MISMATCH",
+    "MatrixEngine",
+    "OK",
+    "REJECTED",
+    "TIMEOUT",
+    "UNEXPECTED_VERDICTS",
+    "VERDICTS",
+    "canonical_observable",
+    "cell_key",
+    "environment_salt",
+    "execute_cell",
+    "file_tasks",
+    "suite_tasks",
+]

@@ -1,0 +1,144 @@
+"""Content-addressed artifact cache for matrix cells.
+
+A cell's cache key is the SHA-256 of everything its result can depend on:
+
+* the **token-normalized source** — the lexer's token stream, not the raw
+  text, so whitespace and comment edits replay from the cache while any
+  token-level change (a constant, an identifier, an operator) misses;
+* the **flow key** and compile **options**;
+* the entry **function** and simulation **args**;
+* the **package version** and the **registry fingerprint** (the set of
+  flow classes and their feature tables), so upgrading the compiler or
+  editing a flow's semantics invalidates its artifacts.
+
+Entries are one JSON file per key under ``root/<key[:2]>/<key>.json``,
+written atomically; a corrupt or stale-schema file is treated as a miss
+and removed.  Only deterministic verdicts are stored (see
+``cells.CACHEABLE_VERDICTS``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Dict, Optional
+
+from .cells import CACHEABLE_VERDICTS, SCHEMA_VERSION, CellResult, CellTask
+
+DEFAULT_CACHE_DIR = pathlib.Path(
+    os.environ.get("REPRO_CACHE_DIR", "~/.cache/repro/matrix")
+).expanduser()
+
+
+def normalized_source(source: str) -> str:
+    """The cache's view of a program: its token stream.
+
+    Lexing strips whitespace and comments, so two sources that differ only
+    in layout normalize identically.  Sources the lexer rejects fall back
+    to their raw text — they will fail identically in every flow anyway."""
+    from ..lang.errors import FrontendError
+    from ..lang.lexer import tokenize
+
+    try:
+        tokens = tokenize(source)
+    except FrontendError:
+        return "raw:" + source
+    return "\n".join(f"{tok.kind.name} {tok.text}" for tok in tokens)
+
+
+def cell_key(task: CellTask, salt: str = "") -> str:
+    """SHA-256 content address for one cell.
+
+    ``salt`` carries the environment part of the key (package version plus
+    registry fingerprint); the engine computes it once per run."""
+    payload = json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "source": normalized_source(task.source),
+            "flow": task.flow,
+            "function": task.function,
+            "args": list(task.args),
+            "options": [[k, repr(v)] for k, v in task.options],
+            "salt": salt,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def environment_salt() -> str:
+    """Package version + registry fingerprint, the non-task key inputs."""
+    from .. import __version__
+    from ..flows.registry import registry_fingerprint
+
+    return f"{__version__}:{registry_fingerprint()}"
+
+
+class ArtifactCache:
+    """A directory of content-addressed :class:`CellResult` artifacts."""
+
+    def __init__(self, root=DEFAULT_CACHE_DIR):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[CellResult]:
+        """The cached result for ``key``, or None (counted as a miss)."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("schema") != SCHEMA_VERSION
+            or data.get("key") != key
+        ):
+            # Stale or foreign entry: drop it so it cannot shadow a rebuild.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        result = CellResult.from_dict(data["result"])
+        result.cached = True
+        return result
+
+    def store(self, key: str, result: CellResult) -> bool:
+        """Persist ``result`` under ``key`` if its verdict is deterministic."""
+        if result.verdict not in CACHEABLE_VERDICTS:
+            return False
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope: Dict[str, object] = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(envelope, sort_keys=True))
+        os.replace(tmp, path)  # atomic: concurrent writers race benignly
+        return True
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,137 @@
+"""The matrix cell model: one (workload, flow) pair in, one verdict out.
+
+A *cell* is the unit the whole reproduction is built from — compile one
+program with one flow, simulate it, and compare against the reference C
+interpreter.  :class:`CellTask` describes the work and :class:`CellResult`
+the outcome; both are plain data so they cross process boundaries (the
+parallel engine) and survive on disk (the artifact cache) unchanged.
+
+``CellResult.identity()`` is the determinism contract: serial, parallel,
+and cache-replayed execution of the same task must produce identical
+identities.  Wall-clock time and the cached flag are the only fields
+excluded — they describe *how* the cell was obtained, not *what* it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Tuple
+
+# Bumped whenever the on-disk result layout changes; stale cache entries
+# are treated as misses rather than migrated.
+SCHEMA_VERSION = 1
+
+# Verdicts, from best to worst.
+OK = "ok"                # compiled, simulated, observables match the golden model
+MISMATCH = "mismatch"    # compiled and ran but disagrees with the interpreter
+REJECTED = "rejected"    # the historical tool's restrictions reject the program
+ERROR = "error"          # the flow raised something other than a FlowError
+TIMEOUT = "timeout"      # the per-cell deadline expired
+
+VERDICTS = (OK, MISMATCH, REJECTED, ERROR, TIMEOUT)
+
+# Verdicts that are deterministic functions of the task and may be replayed
+# from the cache.  Errors and timeouts are recomputed every run: an error
+# may be a transient environment problem and a timeout depends on the host.
+CACHEABLE_VERDICTS = (OK, MISMATCH, REJECTED)
+
+# Verdicts that should fail a sweep.  A rejection is the paper's expected
+# behaviour (Table 1's restrictions working as documented); anything else
+# means the reproduction itself broke.
+UNEXPECTED_VERDICTS = (MISMATCH, ERROR, TIMEOUT)
+
+
+def canonical_observable(obs) -> object:
+    """Normalize an observable tuple to the JSON-stable nested-list form.
+
+    Both :meth:`FlowResult.observable` and the interpreter's
+    :meth:`ExecutionResult.observable` return nested tuples; JSON
+    round-trips turn tuples into lists, so everything is canonicalized to
+    lists before comparison or storage."""
+    if isinstance(obs, (tuple, list)):
+        return [canonical_observable(item) for item in obs]
+    return obs
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One (workload, flow) compile-and-simulate request."""
+
+    workload: str
+    source: str
+    flow: str
+    function: str = "main"
+    args: Tuple[int, ...] = ()
+    # Flow compile() keyword options as a sorted tuple of pairs so the task
+    # is hashable and its cache key is order-independent.
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    def options_dict(self) -> Dict[str, object]:
+        return dict(self.options)
+
+    @staticmethod
+    def make_options(options: Optional[Dict[str, object]]) -> Tuple:
+        return tuple(sorted((options or {}).items()))
+
+
+@dataclass
+class CellResult:
+    """What one cell produced, in plain serializable data."""
+
+    workload: str
+    flow: str
+    function: str = "main"
+    args: Tuple[int, ...] = ()
+    verdict: str = ERROR
+    value: Optional[int] = None
+    cycles: int = 0
+    clock_ns: float = 0.0
+    latency_ns: float = 0.0
+    area_ge: float = 0.0
+    rtl_hash: str = ""
+    observable: object = None          # canonical nested-list form
+    diagnostics: List[str] = field(default_factory=list)
+    rule: str = ""                     # lint rule id for rejections
+    cache_key: str = ""
+    wall_s: float = 0.0                # excluded from identity
+    cached: bool = False               # excluded from identity
+
+    # Fields describing how the result was obtained rather than what it is
+    # (cache_key is empty when caching is off, so it is provenance too).
+    _PROVENANCE = ("wall_s", "cached", "cache_key")
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == OK
+
+    @property
+    def unexpected(self) -> bool:
+        return self.verdict in UNEXPECTED_VERDICTS
+
+    def identity(self) -> Dict[str, object]:
+        """The deterministic content of the result — every field except
+        provenance.  Serial, parallel, and cached runs must agree on it."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in self._PROVENANCE
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["args"] = list(self.args)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CellResult":
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs["args"] = tuple(kwargs.get("args", ()))
+        kwargs["diagnostics"] = list(kwargs.get("diagnostics", ()))
+        return cls(**kwargs)
+
+    def note(self, width: int = 44) -> str:
+        """The short human-facing annotation for table cells."""
+        if self.diagnostics:
+            return self.diagnostics[0][:width]
+        return ""

@@ -1,0 +1,385 @@
+"""The matrix execution engine.
+
+One engine runs any set of (workload, flow) cells three ways with
+identical results:
+
+* **serial** (``jobs=1``) — in-process, the reference mode;
+* **parallel** (``jobs>1``) — a ``concurrent.futures`` process pool with
+  per-cell deadlines and crash isolation: a cell that raises becomes an
+  ``error`` verdict, a cell that exceeds its deadline becomes ``timeout``,
+  and a cell that kills its worker outright is retried in a one-shot pool
+  so the rest of the sweep survives;
+* **cached** — cells whose content address (see :mod:`.cache`) is already
+  on disk replay from the artifact cache without recompiling.
+
+Every cell compares the flow's simulated observables (return value,
+globals, channel logs) against the reference C interpreter, so the sweep
+is simultaneously a differential co-simulation of all flows.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .cache import ArtifactCache, cell_key, environment_salt
+from .cells import (
+    ERROR,
+    MISMATCH,
+    OK,
+    REJECTED,
+    TIMEOUT,
+    CellResult,
+    CellTask,
+    canonical_observable,
+)
+
+DEFAULT_TIMEOUT_S = 60.0
+DEFAULT_MAX_CYCLES = 2_000_000
+
+
+class CellTimeout(Exception):
+    """Raised inside a worker when the per-cell deadline expires."""
+
+
+class _Deadline:
+    """SIGALRM-based per-cell deadline (POSIX main thread only; elsewhere
+    the simulator's ``max_cycles`` bound is the only backstop)."""
+
+    def __init__(self, seconds: float):
+        self.seconds = seconds
+        self.armed = False
+
+    def __enter__(self):
+        usable = (
+            self.seconds > 0
+            and hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if usable:
+            self._previous = signal.signal(signal.SIGALRM, self._fire)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self.armed = True
+        return self
+
+    def __exit__(self, *exc):
+        if self.armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+        return False
+
+    @staticmethod
+    def _fire(signum, frame):
+        raise CellTimeout()
+
+
+def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
+    """Compile, simulate, and judge one cell.  Module-level and dict-in /
+    dict-out so it pickles across the process pool unchanged.
+
+    ``payload`` carries the :class:`CellTask` fields plus ``expected`` (the
+    golden model's canonical observable, or None when the reference
+    interpreter could not run the program), ``timeout_s``, ``max_cycles``,
+    and ``cache_key``."""
+    import hashlib
+
+    from ..flows import FlowError, get_flow
+
+    task = CellTask(
+        workload=payload["workload"],
+        source=payload["source"],
+        flow=payload["flow"],
+        function=payload.get("function", "main"),
+        args=tuple(payload.get("args", ())),
+        options=tuple((k, v) for k, v in payload.get("options", ())),
+    )
+    result = CellResult(
+        workload=task.workload,
+        flow=task.flow,
+        function=task.function,
+        args=task.args,
+        cache_key=str(payload.get("cache_key", "")),
+    )
+    expected = payload.get("expected")
+    start = time.perf_counter()
+    try:
+        with _Deadline(float(payload.get("timeout_s", 0.0))):
+            design = get_flow(task.flow).compile_source(
+                task.source, function=task.function, **task.options_dict()
+            )
+            run = design.run(
+                args=task.args,
+                max_cycles=int(payload.get("max_cycles", DEFAULT_MAX_CYCLES)),
+            )
+            cost = design.cost()
+            try:
+                rtl = design.verilog()
+            except NotImplementedError:
+                rtl = ""
+    except FlowError as rejection:
+        result.verdict = REJECTED
+        result.rule = rejection.rule
+        result.diagnostics = [rejection.reason]
+    except CellTimeout:
+        result.verdict = TIMEOUT
+        result.diagnostics = [
+            f"cell exceeded its {payload.get('timeout_s')}s deadline"
+        ]
+    except Exception:
+        result.verdict = ERROR
+        result.diagnostics = traceback.format_exc().strip().splitlines()[-3:]
+    else:
+        observable = canonical_observable(run.observable())
+        result.value = run.value
+        result.cycles = run.cycles
+        result.clock_ns = cost.clock_ns
+        result.latency_ns = (
+            run.cycles * cost.clock_ns if cost.clock_ns > 0 else run.time_ns
+        )
+        result.area_ge = cost.area_ge
+        result.rtl_hash = (
+            hashlib.sha256(rtl.encode()).hexdigest()[:16] if rtl else ""
+        )
+        result.observable = observable
+        if expected is not None and observable != expected:
+            result.verdict = MISMATCH
+            result.diagnostics = [
+                f"observables diverge from golden model: value "
+                f"{run.value} vs {expected[0] if expected else '?'}"
+            ]
+        else:
+            result.verdict = OK
+    result.wall_s = time.perf_counter() - start
+    return result.to_dict()
+
+
+def _crash_result(payload: Dict[str, object]) -> Dict[str, object]:
+    result = CellResult(
+        workload=str(payload["workload"]),
+        flow=str(payload["flow"]),
+        function=str(payload.get("function", "main")),
+        args=tuple(payload.get("args", ())),
+        verdict=ERROR,
+        diagnostics=["worker process died while executing this cell"],
+        cache_key=str(payload.get("cache_key", "")),
+    )
+    return result.to_dict()
+
+
+class MatrixEngine:
+    """Runs cell sets serially, in parallel, and through the cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` (default) runs in-process.
+    cache:
+        An :class:`ArtifactCache`, or None to disable caching.
+    timeout_s / max_cycles:
+        Per-cell wall-clock deadline and simulation bound.
+    worker:
+        The cell executor (module-level callable, dict→dict).  Tests
+        substitute crashing/slow workers to exercise isolation paths.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ArtifactCache] = None,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        worker: Callable[[Dict[str, object]], Dict[str, object]] = execute_cell,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.max_cycles = max_cycles
+        self.worker = worker
+        self._salt = environment_salt()
+        self._golden: Dict[Tuple[str, str, Tuple[int, ...]], Optional[list]] = {}
+
+    # -- golden model -----------------------------------------------------
+
+    def golden_observable(self, task: CellTask) -> Optional[list]:
+        """The reference interpreter's canonical observable for the task's
+        program and inputs, memoized per (source, function, args); None when
+        the interpreter itself cannot run the program (the flows will then
+        report their own rejections)."""
+        key = (task.source, task.function, task.args)
+        if key not in self._golden:
+            from ..interp import run_source
+
+            try:
+                golden = run_source(task.source, args=task.args,
+                                    function=task.function)
+            except Exception:
+                self._golden[key] = None
+            else:
+                self._golden[key] = canonical_observable(golden.observable())
+        return self._golden[key]
+
+    # -- execution --------------------------------------------------------
+
+    def _payload(self, task: CellTask, key: str) -> Dict[str, object]:
+        return {
+            "workload": task.workload,
+            "source": task.source,
+            "flow": task.flow,
+            "function": task.function,
+            "args": list(task.args),
+            "options": [list(pair) for pair in task.options],
+            "expected": self.golden_observable(task),
+            "timeout_s": self.timeout_s,
+            "max_cycles": self.max_cycles,
+            "cache_key": key,
+        }
+
+    def run_cells(self, tasks: Sequence[CellTask]) -> List[CellResult]:
+        """Execute every task, preserving order; cache hits replay from
+        disk and fresh deterministic results are written back."""
+        results: List[Optional[CellResult]] = [None] * len(tasks)
+        pending: List[Tuple[int, Dict[str, object]]] = []
+        for index, task in enumerate(tasks):
+            key = cell_key(task, salt=self._salt) if self.cache is not None else ""
+            if self.cache is not None:
+                start = time.perf_counter()
+                hit = self.cache.load(key)
+                if hit is not None:
+                    hit.wall_s = time.perf_counter() - start
+                    # The key excludes the display label (identical sources
+                    # share artifacts), so relabel from the current task.
+                    hit.workload = task.workload
+                    results[index] = hit
+                    continue
+            pending.append((index, self._payload(task, key)))
+
+        if pending:
+            if self.jobs == 1:
+                fresh = [(i, self.worker(p)) for i, p in pending]
+            else:
+                fresh = self._run_pool(pending)
+            for index, data in fresh:
+                result = CellResult.from_dict(data)
+                if self.cache is not None and result.cache_key:
+                    self.cache.store(result.cache_key, result)
+                results[index] = result
+        return [r for r in results if r is not None]
+
+    def _run_pool(
+        self, pending: List[Tuple[int, Dict[str, object]]]
+    ) -> List[Tuple[int, Dict[str, object]]]:
+        """Fan pending payloads over a process pool.  A worker death breaks
+        the whole pool, so surviving cells are re-run one at a time in
+        single-shot pools — the crasher is identified and reported as an
+        ``error`` cell instead of aborting the sweep."""
+        context = _pool_context()
+        out: List[Tuple[int, Dict[str, object]]] = []
+        survivors: List[Tuple[int, Dict[str, object]]] = []
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending)), mp_context=context
+            ) as pool:
+                futures = {
+                    pool.submit(self.worker, payload): (index, payload)
+                    for index, payload in pending
+                }
+                for future in as_completed(futures):
+                    index, payload = futures[future]
+                    try:
+                        out.append((index, future.result()))
+                    except BrokenProcessPool:
+                        survivors.append((index, payload))
+                    except Exception as failure:
+                        # A worker that raised instead of returning a result
+                        # dict (only possible with substitute workers).
+                        crashed = _crash_result(payload)
+                        crashed["diagnostics"] = [repr(failure)]
+                        out.append((index, crashed))
+        except BrokenProcessPool:
+            done = {index for index, _ in out}
+            survivors = [
+                (i, p) for i, p in pending
+                if i not in done and (i, p) not in survivors
+            ]
+        for index, payload in survivors:
+            out.append((index, self._run_isolated(payload, context)))
+        return out
+
+    def _run_isolated(self, payload, context) -> Dict[str, object]:
+        try:
+            with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+                return pool.submit(self.worker, payload).result()
+        except BrokenProcessPool:
+            return _crash_result(payload)
+
+    # -- suite-level convenience ------------------------------------------
+
+    def run_suite(
+        self,
+        workloads=None,
+        flows: Optional[Sequence[str]] = None,
+        function: str = "main",
+    ) -> List[CellResult]:
+        """The full workload × flow matrix (defaults: the whole suite
+        against every compilable flow)."""
+        return self.run_cells(
+            suite_tasks(workloads=workloads, flows=flows, function=function)
+        )
+
+
+def _pool_context():
+    """Prefer fork so workers inherit the warm interpreter state (the
+    package import alone would otherwise dominate sub-second sweeps)."""
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+
+
+def suite_tasks(
+    workloads=None,
+    flows: Optional[Sequence[str]] = None,
+    function: str = "main",
+) -> List[CellTask]:
+    """CellTasks for a workload × flow cross product."""
+    from ..flows import COMPILABLE
+    from ..workloads import WORKLOADS
+
+    selected = list(workloads) if workloads is not None else list(WORKLOADS)
+    flow_keys = list(flows) if flows is not None else list(COMPILABLE)
+    return [
+        CellTask(
+            workload=w.name,
+            source=w.source,
+            flow=key,
+            function=function,
+            args=tuple(w.args),
+        )
+        for w in selected
+        for key in flow_keys
+    ]
+
+
+def file_tasks(
+    source: str,
+    name: str,
+    flows: Optional[Sequence[str]] = None,
+    function: str = "main",
+    args: Sequence[int] = (),
+) -> List[CellTask]:
+    """CellTasks running one program through many flows (the CLI matrix)."""
+    from ..flows import COMPILABLE
+
+    flow_keys = list(flows) if flows is not None else list(COMPILABLE)
+    return [
+        CellTask(workload=name, source=source, flow=key,
+                 function=function, args=tuple(args))
+        for key in flow_keys
+    ]

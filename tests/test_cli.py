@@ -50,6 +50,87 @@ def test_matrix_command(program_file, capsys):
     assert "rejected" in out  # cones rejects the dynamic bound
 
 
+def test_matrix_prints_per_cell_timing(program_file, capsys):
+    assert main(["matrix", program_file, "--args", "4", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "time(ms)" in out
+    assert "src" in out
+    assert "fresh" in out
+    assert "cells (" in out  # summary footer
+
+
+def test_matrix_parallel_matches_serial(program_file, capsys):
+    assert main(["matrix", program_file, "--args", "4", "--no-cache"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["matrix", program_file, "--args", "4", "--no-cache",
+                 "--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+
+    def semantic(text):
+        # Everything except volatile numeric columns (wall-clock times).
+        rows = []
+        for line in text.splitlines():
+            cells = line.split()
+            rows.append([c for c in cells
+                         if not any(ch.isdigit() for ch in c)])
+        return rows
+
+    assert semantic(serial) == semantic(parallel)
+
+
+def test_matrix_uses_cache_on_second_run(program_file, tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["matrix", program_file, "--args", "4",
+                 "--cache-dir", cache_dir]) == 0
+    first = capsys.readouterr().out
+    assert "misses" in first
+    assert main(["matrix", program_file, "--args", "4",
+                 "--cache-dir", cache_dir]) == 0
+    second = capsys.readouterr().out
+    assert "cache" in second
+    assert "0 misses" in second
+
+
+def test_matrix_exits_nonzero_on_timeout(tmp_path, capsys):
+    path = tmp_path / "slow.c"
+    path.write_text(
+        "int main() { int s = 0;"
+        " for (int i = 0; i < 100000000; i++) { s += i; } return s; }"
+    )
+    assert main(["matrix", str(path), "--no-cache", "--timeout", "0.2"]) == 1
+    assert "timeout" in capsys.readouterr().out
+
+
+def test_sweep_subset(capsys):
+    assert main(["sweep", "--no-cache", "--workloads", "gcd,fir8",
+                 "--flows", "handelc,bachc"]) == 0
+    out = capsys.readouterr().out
+    assert "gcd" in out and "fir8" in out
+    assert "handelc" in out and "bachc" in out
+    assert "4 cells" in out
+
+
+def test_sweep_rejects_unknown_flow(capsys):
+    assert main(["sweep", "--flows", "no-such-flow"]) == 2
+    assert "unknown flow" in capsys.readouterr().err
+
+
+def test_sweep_rejects_unknown_workload(capsys):
+    assert main(["sweep", "--workloads", "no-such-workload"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_sweep_warm_cache_replays(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    common = ["sweep", "--workloads", "gcd", "--cache-dir", cache_dir]
+    assert main(common) == 0
+    capsys.readouterr()
+    assert main(common + ["--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "0 misses" in out
+    assert "/ 0 fresh" in out  # every cell replayed from the cache
+
+
 def test_table1_command(capsys):
     assert main(["table1"]) == 0
     out = capsys.readouterr().out

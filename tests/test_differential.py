@@ -1,0 +1,58 @@
+"""Differential co-simulation: every flow against the reference interpreter.
+
+Each compiling (workload, flow) cell is executed through the matrix
+runner — in parallel, exactly as ``repro sweep`` runs it — and its full
+simulated observable (return value, final globals, channel log) must
+match the reference C interpreter bit for bit.  Rejections are fine
+(that is the paper's Table 1 doing its job); silent divergence is not.
+"""
+
+import pytest
+
+from repro.flows import COMPILABLE
+from repro.runner import MISMATCH, OK, REJECTED, MatrixEngine, suite_tasks
+from repro.runner.cells import canonical_observable
+from repro.interp import run_source
+from repro.workloads import WORKLOADS
+
+_PAIRS = [(w.name, flow) for w in WORKLOADS for flow in COMPILABLE]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """One parallel sweep of the full matrix, shared by every test here."""
+    engine = MatrixEngine(jobs=4)
+    results = engine.run_cells(suite_tasks())
+    return {(r.workload, r.flow): r for r in results}
+
+
+@pytest.mark.parametrize("workload,flow", _PAIRS,
+                         ids=[f"{w}-{f}" for w, f in _PAIRS])
+def test_cell_matches_reference_interpreter(sweep, workload, flow):
+    cell = sweep[(workload, flow)]
+    assert cell.verdict in (OK, REJECTED), (
+        f"{workload} x {flow}: verdict {cell.verdict!r} — {cell.note(200)}"
+    )
+    if cell.verdict != OK:
+        return
+    spec = next(w for w in WORKLOADS if w.name == workload)
+    golden = run_source(spec.source, function="main", args=tuple(spec.args))
+    assert cell.observable == canonical_observable(golden.observable()), (
+        f"{workload} x {flow} diverged from the reference interpreter"
+    )
+    assert cell.value == golden.value
+
+
+def test_no_cell_mismatches(sweep):
+    bad = [key for key, cell in sweep.items() if cell.verdict == MISMATCH]
+    assert not bad
+
+
+def test_matrix_is_fully_covered(sweep):
+    assert set(sweep) == set(_PAIRS)
+
+
+def test_every_workload_compiles_somewhere(sweep):
+    for spec in WORKLOADS:
+        oks = [f for f in COMPILABLE if sweep[(spec.name, f)].verdict == OK]
+        assert oks, f"{spec.name} compiled under no flow at all"

@@ -1,0 +1,42 @@
+"""Golden-file regression for ``repro table1``.
+
+The regenerated Table 1 is the paper's centrepiece; its exact rendering —
+column order, alignment, per-flow concurrency/timing labels — is pinned
+verbatim so a formatting or metadata regression cannot slip through a
+sweep of unrelated refactors.  To intentionally change the table, update
+``tests/golden/table1.txt`` in the same commit and say why.
+"""
+
+import io
+from contextlib import redirect_stdout
+from pathlib import Path
+
+from repro.__main__ import main
+
+GOLDEN = Path(__file__).parent / "golden" / "table1.txt"
+
+
+def _render_table1() -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["table1"])
+    assert code == 0
+    return buffer.getvalue()
+
+
+def test_table1_matches_golden_file():
+    expected = GOLDEN.read_text()
+    actual = _render_table1()
+    assert actual == expected, (
+        "repro table1 output drifted from tests/golden/table1.txt; "
+        "if the change is intentional, regenerate the golden file with "
+        "`python -m repro table1 > tests/golden/table1.txt`"
+    )
+
+
+def test_golden_file_covers_all_eleven_languages():
+    body = GOLDEN.read_text()
+    for language in ["Cones", "HardwareC", "Transmogrifier C", "SystemC",
+                     "Ocapi", "C2Verilog", "Cyber (BDL)", "Handel-C",
+                     "SpecC", "Bach C", "CASH"]:
+        assert language in body

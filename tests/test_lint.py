@@ -311,34 +311,48 @@ def test_unknown_flow_raises_keyerror():
 # ---------------------------------------------------------------------------
 # Cross-validation: the linter agrees with the compilers (tentpole contract)
 # ---------------------------------------------------------------------------
+#
+# The compiler side of the comparison runs through the matrix runner — the
+# same engine behind ``repro sweep`` — so the linter is validated against
+# exactly the CellResult verdicts every other consumer sees, and the whole
+# matrix compiles once per session instead of once per parametrized case.
+
+
+@pytest.fixture(scope="module")
+def suite_cells():
+    from repro.runner import MatrixEngine, suite_tasks
+
+    results = MatrixEngine(jobs=2).run_cells(suite_tasks())
+    return {(r.workload, r.flow): r for r in results}
 
 
 @pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
-def test_linter_matches_compiler_on_suite(workload):
+def test_linter_matches_compiler_on_suite(workload, suite_cells):
+    from repro.runner import REJECTED
+
     report = lint(workload.source, flows=list(COMPILABLE))
     for key in COMPILABLE:
-        try:
-            REGISTRY[key].compile_source(workload.source)
-            compiled = True
-            error = None
-        except (UnsupportedFeature, FlowError) as raised:
-            compiled = False
-            error = raised
+        cell = suite_cells[(workload.name, key)]
+        assert not cell.unexpected, (
+            f"{workload.name} x {key}: runner verdict {cell.verdict!r}"
+            f" — {cell.note(200)}"
+        )
         if report.is_clean(key):
-            assert compiled, (
-                f"linter passed {workload.name} for {key} but compile"
-                f" raised: {error}"
+            assert cell.ok, (
+                f"linter passed {workload.name} for {key} but the runner"
+                f" verdict is {cell.verdict!r}: {cell.note(200)}"
             )
         else:
-            assert not compiled, (
+            assert cell.verdict == REJECTED, (
                 f"linter rejected {workload.name} for {key} with"
-                f" {report.rules(key, Severity.ERROR)} but compile succeeded"
+                f" {report.rules(key, Severity.ERROR)} but the runner"
+                f" verdict is {cell.verdict!r}"
             )
-        if (not compiled and isinstance(error, UnsupportedFeature)
-                and error.rule):
-            assert error.rule in report.rules(key, Severity.ERROR), (
-                f"{workload.name} x {key}: compile raised {error.rule} but"
-                f" linter predicted {report.rules(key, Severity.ERROR)}"
+        if cell.verdict == REJECTED and cell.rule:
+            assert cell.rule in report.rules(key, Severity.ERROR), (
+                f"{workload.name} x {key}: compile rejected with"
+                f" {cell.rule} but linter predicted"
+                f" {report.rules(key, Severity.ERROR)}"
             )
 
 
