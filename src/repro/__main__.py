@@ -18,6 +18,14 @@ Commands
 ``lint FILE [--flow KEY | --all]``
     Predict, per flow, what compile would reject — with rule ids, source
     locations, and fix hints — without running any backend.
+``fuzz [--flows ...] [--seeds N] [--seed-base N] [--time-budget S]
+[--jobs N] [--no-reduce] [--update-corpus] [--corpus-dir D]``
+    Differential fuzz campaign: generate programs targeted at each flow's
+    accepted subset (every fourth seed probes the reject boundary), derive
+    semantics-preserving mutants, run everything through the shared
+    engine, reduce divergences to 1-minimal reproducers, and compare
+    their signatures against the triaged corpus.  Exits nonzero only on
+    divergences the corpus has never seen.
 ``table1``
     Print the regenerated Table 1.
 ``flows``
@@ -233,6 +241,66 @@ def cmd_sweep(options: argparse.Namespace) -> int:
     return 1 if summary["unexpected"] else 0
 
 
+def cmd_fuzz(options: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .fuzz import CampaignConfig, promote, run_campaign
+
+    flows = None
+    if options.flows and options.flows != "all":
+        flows = [key.strip() for key in options.flows.split(",") if key.strip()]
+        for key in flows:
+            if key not in COMPILABLE:
+                print(f"error: unknown flow {key!r}", file=sys.stderr)
+                return 2
+
+    cache_dir = None
+    if not options.no_cache:
+        from .runner import DEFAULT_CACHE_DIR
+
+        cache_dir = Path(options.cache_dir or DEFAULT_CACHE_DIR)
+
+    config = CampaignConfig(
+        flows=flows,
+        seeds=options.seeds,
+        seed_base=options.seed_base,
+        jobs=options.jobs,
+        time_budget_s=options.time_budget or 0.0,
+        reduce=not options.no_reduce,
+        timeout_s=options.timeout or 20.0,
+        cache_dir=cache_dir,
+        corpus_dir=Path(options.corpus_dir),
+    )
+    report = run_campaign(config)
+    print("\n".join(report.summary_lines()))
+    if report.budget_exhausted:
+        print(f"(stopped at --time-budget {options.time_budget}s)")
+
+    for divergence in report.divergences:
+        print()
+        print(divergence.describe())
+
+    if options.update_corpus and report.divergences:
+        written = promote(report, config.corpus_dir)
+        for relative in written:
+            print(f"corpus += {relative}")
+
+    if report.known_signatures:
+        print(f"\n{len(report.known_signatures)} known signature(s) "
+              "already triaged in the corpus")
+    if report.new_signatures:
+        print(f"\n{len(report.new_signatures)} NEW divergence signature(s) "
+              "not in the corpus:")
+        for signature_id in report.new_signatures:
+            print(f"  {signature_id}")
+        if options.update_corpus:
+            print("triaged into the corpus; review and commit the new entries")
+            return 0
+        print("re-run with --update-corpus to triage them into tests/corpus/")
+        return 1
+    return 0
+
+
 def cmd_table1(_: argparse.Namespace) -> int:
     rows = table1_rows()
     print(format_table(
@@ -323,6 +391,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument("--function", default="main")
     lint_parser.set_defaults(handler=cmd_lint)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="differential fuzz campaign over the flow matrix"
+    )
+    fuzz_parser.add_argument(
+        "--flows", default="all",
+        help="comma-separated flow keys, or 'all' (default)",
+    )
+    fuzz_parser.add_argument("--seeds", type=int, default=100,
+                             help="seeds per flow (default 100)")
+    fuzz_parser.add_argument("--seed-base", type=int, default=0,
+                             help="first seed (campaigns are pure in seeds)")
+    fuzz_parser.add_argument("--time-budget", type=float,
+                             help="stop generating after this many seconds")
+    fuzz_parser.add_argument("--no-reduce", action="store_true",
+                             help="skip delta-debugging reduction")
+    fuzz_parser.add_argument("--update-corpus", action="store_true",
+                             help="write new findings into the corpus")
+    fuzz_parser.add_argument("--corpus-dir", default="tests/corpus",
+                             help="triaged corpus root (default tests/corpus)")
+    add_runner_flags(fuzz_parser)
+    fuzz_parser.set_defaults(handler=cmd_fuzz)
 
     sub.add_parser("table1", help="print Table 1").set_defaults(
         handler=cmd_table1

@@ -1,0 +1,59 @@
+"""Differential fuzzing of the flow matrix.
+
+The fuzzer closes the loop the hand-written workload suite opens: instead
+of a dozen curated programs, it generates thousands targeted at each
+flow's accepted subset (and deliberately at its boundary), checks every
+one against the reference interpreter *and* against semantics-preserving
+rewrites of itself, reduces whatever diverges to a 1-minimal reproducer,
+and pins each distinct failure in a replayable corpus.
+
+Layers, bottom-up:
+
+* :mod:`.masks` — per-flow feature masks derived from the lint registry;
+* :mod:`.grammar` — the generative frontend (profiles × seeds → programs);
+* :mod:`.mutate` — the metamorphic layer (commute, reassociate, rotate,
+  dead code, statement split);
+* :mod:`.signature` — how failures are named and deduplicated;
+* :mod:`.reduce` — statement- then token-level delta debugging;
+* :mod:`.corpus` — the persistent triaged corpus under ``tests/corpus/``;
+* :mod:`.campaign` — the orchestrator behind ``repro fuzz``.
+"""
+
+from .campaign import (
+    CampaignConfig,
+    CampaignReport,
+    promote,
+    run_campaign,
+)
+from .corpus import Corpus, CorpusEntry, replay_entry
+from .grammar import GeneratedProgram, available_profiles, generate_program
+from .masks import FeatureMask, all_masks, feature_mask
+from .mutate import MUTATION_NAMES, Mutant, mutants
+from .reduce import ReductionResult, is_statement_minimal, reduce_source
+from .signature import KINDS, Divergence, Signature, program_hash
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "Corpus",
+    "CorpusEntry",
+    "Divergence",
+    "FeatureMask",
+    "GeneratedProgram",
+    "KINDS",
+    "MUTATION_NAMES",
+    "Mutant",
+    "ReductionResult",
+    "Signature",
+    "all_masks",
+    "available_profiles",
+    "feature_mask",
+    "generate_program",
+    "is_statement_minimal",
+    "mutants",
+    "program_hash",
+    "promote",
+    "reduce_source",
+    "replay_entry",
+    "run_campaign",
+]

@@ -1,0 +1,486 @@
+"""Campaign orchestration: generate, run, classify, reduce, triage.
+
+One campaign sweeps ``seeds × flows``: for every (flow, seed) pair the
+grammar emits a program targeted at that flow's feature mask (every fourth
+seed deliberately straddles the boundary with one forbidden feature), the
+metamorphic layer derives semantics-preserving mutants, and the whole
+batch runs through the shared :class:`MatrixEngine` — same process pool,
+same artifact cache, same golden-model comparison as the matrix sweeps.
+
+Classification splits results into the paper-expected (boundary programs
+rejected with the predicted rule; clean programs OK) and divergences:
+
+* ``mismatch`` / ``error`` / ``timeout`` — the engine's own unexpected
+  verdicts on a lint-clean program;
+* ``metamorphic`` — original and mutant both ran on the same flow but
+  produced different observables (a bug even without the interpreter);
+* ``lint-disagree`` — the linter's predicted verdict and the flow's actual
+  accept/reject decision differ, in either direction.
+
+Divergences are deduplicated by coarse signature, optionally reduced to
+1-minimal reproducers, and compared against the persistent corpus: only
+signatures the corpus has never seen make the campaign fail.
+
+Everything downstream of the config is a pure function of (seed, flow),
+so two campaigns over the same seed range report identical signatures —
+the determinism the acceptance criteria demand.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.lint import lint
+from ..runner.cache import ArtifactCache
+from ..runner.cells import (
+    CellTask,
+    ERROR,
+    MISMATCH,
+    OK,
+    REJECTED,
+    TIMEOUT,
+)
+from ..runner.engine import MatrixEngine
+from .corpus import Corpus, entry_from_divergence
+from .grammar import GeneratedProgram, generate_program
+from .masks import all_masks
+from .mutate import Mutant, mutants
+from .reduce import reduce_source
+from .signature import (
+    Divergence,
+    KIND_ERROR,
+    KIND_LINT_DISAGREE,
+    KIND_METAMORPHIC,
+    KIND_MISMATCH,
+    KIND_TIMEOUT,
+)
+
+# Every BOUNDARY_STRIDE-th seed probes the reject side of the flow's
+# feature mask instead of the accept side.
+BOUNDARY_STRIDE = 4
+
+_VERDICT_TO_KIND = {
+    MISMATCH: KIND_MISMATCH,
+    ERROR: KIND_ERROR,
+    TIMEOUT: KIND_TIMEOUT,
+}
+
+
+@dataclass
+class CampaignConfig:
+    flows: Optional[Sequence[str]] = None   # None = every compilable flow
+    seeds: int = 100
+    seed_base: int = 0
+    jobs: int = 1
+    time_budget_s: float = 0.0              # 0 = no wall-clock budget
+    reduce: bool = True
+    mutations: int = 2                      # mutants per clean program
+    timeout_s: float = 20.0
+    max_cycles: int = 200_000
+    cache_dir: Optional[Path] = None
+    corpus_dir: Path = Path("tests") / "corpus"
+    batch_size: int = 200                   # cells per engine dispatch
+
+
+@dataclass
+class FlowStats:
+    seeds: int = 0
+    boundary_seeds: int = 0
+    mutants: int = 0
+    ok: int = 0
+    expected_rejections: int = 0
+    mutant_rejections: int = 0              # benign: mutant crossed a boundary
+    divergences: int = 0
+
+
+@dataclass
+class CampaignReport:
+    config: CampaignConfig
+    stats: Dict[str, FlowStats] = field(default_factory=dict)
+    divergences: List[Divergence] = field(default_factory=list)
+    new_signatures: List[str] = field(default_factory=list)
+    known_signatures: List[str] = field(default_factory=list)
+    cells_run: int = 0
+    elapsed_s: float = 0.0
+    budget_exhausted: bool = False
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.new_signatures)
+
+    def summary_lines(self) -> List[str]:
+        lines = []
+        header = (
+            f"{'flow':<15} {'seeds':>6} {'bnd':>5} {'mut':>5} {'ok':>6} "
+            f"{'rej':>6} {'div':>5}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for flow in sorted(self.stats):
+            s = self.stats[flow]
+            lines.append(
+                f"{flow:<15} {s.seeds:>6} {s.boundary_seeds:>5} "
+                f"{s.mutants:>5} {s.ok:>6} {s.expected_rejections:>6} "
+                f"{s.divergences:>5}"
+            )
+        lines.append(
+            f"cells={self.cells_run}  divergences={len(self.divergences)}  "
+            f"new={len(self.new_signatures)}  known={len(self.known_signatures)}  "
+            f"elapsed={self.elapsed_s:.1f}s"
+        )
+        return lines
+
+
+@dataclass
+class _WorkItem:
+    """One generated program plus its mutants, before execution."""
+
+    program: GeneratedProgram
+    mutant_list: List[Mutant] = field(default_factory=list)
+
+
+def plan_items(config: CampaignConfig) -> List[_WorkItem]:
+    """The full deterministic work list for a campaign: pure function of
+    (flows, seeds, seed_base, mutations)."""
+    masks = all_masks(
+        list(config.flows) if config.flows is not None else None
+    )
+    items: List[_WorkItem] = []
+    for flow in sorted(masks):
+        mask = masks[flow]
+        for offset in range(config.seeds):
+            seed = config.seed_base + offset
+            boundary = (
+                seed % BOUNDARY_STRIDE == BOUNDARY_STRIDE - 1
+                and bool(mask.boundary_features)
+            )
+            program = generate_program(seed, mask, boundary=boundary)
+            item = _WorkItem(program=program)
+            if not boundary and config.mutations > 0:
+                item.mutant_list = mutants(
+                    program.source,
+                    seed=seed,
+                    count=config.mutations,
+                    mask=mask,
+                )
+            items.append(item)
+    return items
+
+
+def _tasks_for(item: _WorkItem) -> List[CellTask]:
+    program = item.program
+    tasks = [
+        CellTask(
+            workload=program.name,
+            source=program.source,
+            flow=program.flow,
+            args=program.args,
+        )
+    ]
+    for mutant in item.mutant_list:
+        tasks.append(
+            CellTask(
+                workload=f"{program.name}-mut-{mutant.name}-{mutant.index}",
+                source=mutant.source,
+                flow=program.flow,
+                args=program.args,
+            )
+        )
+    return tasks
+
+
+def _classify_item(
+    item: _WorkItem, results, stats: FlowStats
+) -> List[Divergence]:
+    """Judge one program (and its mutants) from its cell results."""
+    program = item.program
+    original = results[0]
+    found: List[Divergence] = []
+
+    def divergence(kind: str, **kwargs) -> Divergence:
+        base = dict(
+            flow=program.flow,
+            kind=kind,
+            source=program.source,
+            args=program.args,
+            seed=program.seed,
+            profile=program.profile,
+        )
+        base.update(kwargs)
+        return Divergence(**base)
+
+    if program.is_boundary:
+        stats.boundary_seeds += 1
+        report = lint(program.source, flow=program.flow)
+        lint_dirty = not report.is_clean(program.flow)
+        if original.verdict == REJECTED and lint_dirty:
+            stats.expected_rejections += 1      # the paper's Table 1 working
+        elif original.verdict != REJECTED:
+            lint_rules = sorted(report.errors(program.flow), key=str)
+            rule = lint_rules[0].rule if lint_rules else ""
+            found.append(divergence(
+                KIND_LINT_DISAGREE,
+                rule=rule,
+                detail=(
+                    f"lint predicts rejection ({rule or 'dirty'}) for "
+                    f"forbidden feature '{program.boundary_feature}' but "
+                    f"flow verdict was {original.verdict}"
+                ),
+                extra={"expect": {"verdict": original.verdict}},
+            ))
+        else:  # rejected but lint was silent
+            found.append(divergence(
+                KIND_LINT_DISAGREE,
+                rule=original.rule,
+                detail=(
+                    f"flow rejected ({original.rule}) but lint saw nothing "
+                    f"wrong for feature '{program.boundary_feature}'"
+                ),
+                extra={"expect": {"verdict": original.verdict}},
+            ))
+        stats.divergences += len(found)
+        return found
+
+    # Clean-side program: generated to be lint-clean and interpreter-valid.
+    if original.verdict == OK:
+        stats.ok += 1
+    elif original.verdict == REJECTED:
+        found.append(divergence(
+            KIND_LINT_DISAGREE,
+            rule=original.rule,
+            detail=(
+                f"flow rejected a lint-clean program ({original.rule}): "
+                f"{original.note()}"
+            ),
+            extra={"expect": {"verdict": original.verdict}},
+        ))
+    else:
+        found.append(divergence(
+            _VERDICT_TO_KIND[original.verdict],
+            rule=original.rule,
+            detail=original.note(60),
+            extra={"expect": {
+                "verdict": original.verdict,
+                "value": original.value,
+            }},
+        ))
+
+    for mutant, result in zip(item.mutant_list, results[1:]):
+        stats.mutants += 1
+        if result.verdict == OK:
+            continue
+        if result.verdict == REJECTED:
+            # The rewrite crossed a restriction the original respected
+            # (e.g. a split-statement temp in a flow that bounds locals).
+            # Expected flow behaviour, not a bug — counted, not reported.
+            stats.mutant_rejections += 1
+            continue
+        if (
+            result.verdict == MISMATCH
+            and original.verdict in (OK, MISMATCH)
+            and original.observable != result.observable
+        ):
+            found.append(divergence(
+                KIND_METAMORPHIC,
+                source=mutant.source,
+                original_source=program.source,
+                mutation=mutant.name,
+                detail=(
+                    f"{mutant.name} rewrite changed flow output: "
+                    f"{original.value} vs {result.value}"
+                ),
+                extra={"expect": {"verdict": result.verdict}},
+            ))
+        else:
+            found.append(divergence(
+                _VERDICT_TO_KIND.get(result.verdict, KIND_ERROR),
+                source=mutant.source,
+                original_source=program.source,
+                mutation=mutant.name,
+                rule=result.rule,
+                detail=result.note(60),
+                extra={"expect": {
+                    "verdict": result.verdict,
+                    "value": result.value,
+                }},
+            ))
+    stats.divergences += len(found)
+    return found
+
+
+# -- reduction predicates -----------------------------------------------------
+
+def reduction_predicate(divergence: Divergence, engine: MatrixEngine):
+    """A predicate asking "does this candidate still fail with the same
+    coarse signature?" — the contract :func:`reduce_source` shrinks under.
+    Matches on (flow, kind, rule) only; the program hash is minted after
+    reduction finishes."""
+    flow, kind, rule = divergence.signature().coarse
+
+    def run(source: str):
+        task = CellTask(
+            workload="reduce", source=source, flow=flow,
+            args=divergence.args,
+        )
+        return engine.run_cells([task])[0]
+
+    if kind == KIND_LINT_DISAGREE:
+        def predicate(source: str) -> bool:
+            report = lint(source, flow=flow)
+            clean = report.is_clean(flow)
+            result = run(source)
+            compiled = result.verdict != REJECTED
+            if clean == compiled:
+                return False
+            observed = result.rule if not compiled else (
+                min(d.rule for d in report.errors(flow)) if
+                report.errors(flow) else ""
+            )
+            return observed == rule
+        return predicate
+
+    if kind == KIND_METAMORPHIC:
+        return None         # needs the (original, mutant) pair; not reduced
+
+    def predicate(source: str) -> bool:
+        result = run(source)
+        if _VERDICT_TO_KIND.get(result.verdict) != kind:
+            return False
+        return not rule or result.rule == rule
+    return predicate
+
+
+def reduce_divergence(
+    divergence: Divergence, engine: Optional[MatrixEngine] = None
+) -> Divergence:
+    """Attach a 1-minimal reproducer to ``divergence`` (no-op for kinds
+    the reducer cannot re-judge on a single program)."""
+    engine = engine or MatrixEngine(jobs=1, cache=None)
+    predicate = reduction_predicate(divergence, engine)
+    if predicate is None:
+        return divergence
+    outcome = reduce_source(divergence.source, predicate)
+    if outcome.reproduced:
+        divergence.reduced_source = outcome.reduced
+        divergence.extra["reduction"] = {
+            "predicate_calls": outcome.predicate_calls,
+            "shrink_ratio": round(outcome.shrink_ratio, 3),
+        }
+        # The pinned expectation must describe the *reduced* program — its
+        # value usually differs from the original's even though the
+        # signature (verdict + rule) is the same.
+        task = CellTask(
+            workload="pin", source=outcome.reduced,
+            flow=divergence.flow, args=divergence.args,
+        )
+        result = engine.run_cells([task])[0]
+        divergence.extra["expect"] = {
+            "verdict": result.verdict,
+            "value": result.value,
+        }
+    return divergence
+
+
+# -- the driver ---------------------------------------------------------------
+
+def run_campaign(config: CampaignConfig) -> CampaignReport:
+    started = time.monotonic()
+    report = CampaignReport(config=config)
+
+    cache = (
+        ArtifactCache(config.cache_dir) if config.cache_dir is not None
+        else None
+    )
+    engine = MatrixEngine(
+        jobs=config.jobs,
+        cache=cache,
+        timeout_s=config.timeout_s,
+        max_cycles=config.max_cycles,
+    )
+
+    items = plan_items(config)
+    for item in items:
+        report.stats.setdefault(item.program.flow, FlowStats()).seeds += 1
+
+    raw: List[Divergence] = []
+    batch: List[_WorkItem] = []
+
+    def flush(batch_items: List[_WorkItem]) -> None:
+        tasks: List[CellTask] = []
+        spans: List[Tuple[_WorkItem, int, int]] = []
+        for entry in batch_items:
+            entry_tasks = _tasks_for(entry)
+            spans.append((entry, len(tasks), len(tasks) + len(entry_tasks)))
+            tasks.extend(entry_tasks)
+        results = engine.run_cells(tasks)
+        report.cells_run += len(results)
+        for entry, lo, hi in spans:
+            stats = report.stats[entry.program.flow]
+            raw.extend(_classify_item(entry, results[lo:hi], stats))
+
+    for item in items:
+        batch.append(item)
+        if sum(1 + len(b.mutant_list) for b in batch) >= config.batch_size:
+            flush(batch)
+            batch = []
+            if (
+                config.time_budget_s > 0
+                and time.monotonic() - started > config.time_budget_s
+            ):
+                report.budget_exhausted = True
+                break
+    if batch and not report.budget_exhausted:
+        flush(batch)
+
+    # Deduplicate by coarse signature before (expensive) reduction: one
+    # reproducer per underlying bug.
+    unique: Dict[Tuple[str, str, str], Divergence] = {}
+    for divergence in raw:
+        unique.setdefault(divergence.signature().coarse, divergence)
+
+    reducer_engine = MatrixEngine(
+        jobs=1, cache=None,
+        timeout_s=config.timeout_s, max_cycles=config.max_cycles,
+    )
+    for divergence in unique.values():
+        if config.reduce:
+            reduce_divergence(divergence, reducer_engine)
+        report.divergences.append(divergence)
+
+    corpus = Corpus(config.corpus_dir)
+    known_coarse = corpus.known_coarse()
+    for divergence in report.divergences:
+        sig = divergence.signature()
+        if sig in corpus or sig.coarse in known_coarse:
+            report.known_signatures.append(sig.id)
+        else:
+            report.new_signatures.append(sig.id)
+    report.new_signatures.sort()
+    report.known_signatures.sort()
+
+    report.elapsed_s = time.monotonic() - started
+    return report
+
+
+def promote(
+    report: CampaignReport, corpus_dir: Path, limit: int = 0
+) -> List[str]:
+    """Write the report's divergences into the corpus; returns the new
+    entry paths (relative to ``corpus_dir``)."""
+    corpus = Corpus(corpus_dir)
+    written: List[str] = []
+    for divergence in report.divergences:
+        entry = corpus.add(divergence)
+        if entry is not None:
+            written.append(str(entry.path(corpus.root).relative_to(corpus.root)))
+            if limit and len(written) >= limit:
+                break
+    return written
+
+
+def entry_for(divergence: Divergence):
+    """Convenience re-export used by the CLI and tests."""
+    return entry_from_divergence(divergence)

@@ -1,0 +1,222 @@
+"""The triaged failure corpus: persistent, deduplicated, replayable.
+
+Every divergence a campaign keeps lives as one JSON file under
+``tests/corpus/<flow>/<kind>[--<rule>]--<hash>.json``.  The filename *is*
+the signature (minus the flow, which the directory carries), so
+deduplication is a file-existence check and the corpus diffs cleanly in
+review.  Entry content is fully deterministic — no timestamps, no host
+names — so re-running a campaign on the same seeds produces byte-identical
+files.
+
+Each entry records enough to re-judge the finding from scratch:
+the reduced program, its inputs, the expected flow verdict (or, for
+metamorphic findings, the pre-mutation program whose behaviour the mutant
+must match).  ``replay_entry`` re-runs that check; the pytest replay suite
+and the campaign's "is this new?" filter both go through it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..runner.cells import CellTask, REJECTED
+from ..runner.engine import MatrixEngine
+from .signature import (
+    Divergence,
+    KIND_LINT_DISAGREE,
+    KIND_METAMORPHIC,
+    Signature,
+    program_hash,
+)
+
+DEFAULT_CORPUS_DIR = Path("tests") / "corpus"
+
+
+@dataclass
+class CorpusEntry:
+    """One triaged finding, as stored on disk."""
+
+    flow: str
+    kind: str
+    rule: str
+    program_hash: str
+    source: str
+    args: List[int] = field(default_factory=list)
+    detail: str = ""
+    seed: int = -1
+    profile: str = ""
+    mutation: str = ""
+    original_source: str = ""     # metamorphic findings: pre-mutation program
+    expect: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def signature(self) -> Signature:
+        return Signature(self.flow, self.kind, self.rule, self.program_hash)
+
+    @property
+    def filename(self) -> str:
+        parts = [self.kind]
+        if self.rule:
+            parts.append(self.rule)
+        parts.append(self.program_hash)
+        return "--".join(parts) + ".json"
+
+    def path(self, corpus_dir: Path) -> Path:
+        return Path(corpus_dir) / self.flow / self.filename
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "CorpusEntry":
+        data = json.loads(text)
+        known = cls.__dataclass_fields__
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def entry_from_divergence(divergence: Divergence) -> CorpusEntry:
+    """Freeze a (preferably reduced) divergence into a corpus entry."""
+    sig = divergence.signature()
+    expect = dict(divergence.extra.get("expect", {}))
+    return CorpusEntry(
+        flow=divergence.flow,
+        kind=divergence.kind,
+        rule=divergence.rule,
+        program_hash=sig.program_hash,
+        source=divergence.best_source,
+        args=list(divergence.args),
+        detail=divergence.detail,
+        seed=divergence.seed,
+        profile=divergence.profile,
+        mutation=divergence.mutation,
+        original_source=divergence.original_source,
+        expect=expect,
+    )
+
+
+class Corpus:
+    """The on-disk corpus, loaded once and queried by signature."""
+
+    def __init__(self, root: Path = DEFAULT_CORPUS_DIR):
+        self.root = Path(root)
+        self.entries: List[CorpusEntry] = []
+        self._by_id: Dict[str, CorpusEntry] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                entry = CorpusEntry.from_json(path.read_text())
+            except (json.JSONDecodeError, TypeError):
+                continue
+            self.entries.append(entry)
+            self._by_id[entry.signature.id] = entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, signature: Signature) -> bool:
+        return signature.id in self._by_id
+
+    def known_coarse(self) -> set:
+        """Coarse (flow, kind, rule) triples already represented; a new
+        finding matching one is the same bug hit through a different
+        program, so campaigns report it as known rather than new."""
+        return {e.signature.coarse for e in self.entries}
+
+    def add(self, divergence: Divergence) -> Optional[CorpusEntry]:
+        """Persist one divergence; returns None when its exact signature
+        is already on disk."""
+        entry = entry_from_divergence(divergence)
+        if entry.signature.id in self._by_id:
+            return None
+        path = entry.path(self.root)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(entry.to_json())
+        self.entries.append(entry)
+        self._by_id[entry.signature.id] = entry
+        return entry
+
+
+# -- replay -------------------------------------------------------------------
+
+def _flow_result(engine: MatrixEngine, entry: CorpusEntry, source: str):
+    task = CellTask(
+        workload=f"corpus-{entry.program_hash}",
+        source=source,
+        flow=entry.flow,
+        args=tuple(entry.args),
+    )
+    return engine.run_cells([task])[0]
+
+
+def replay_entry(
+    entry: CorpusEntry, engine: Optional[MatrixEngine] = None
+) -> Tuple[bool, str]:
+    """Re-run one corpus entry's recorded check.
+
+    Returns ``(True, detail)`` when the pinned behaviour still holds and
+    ``(False, why)`` when it changed — either the bug was fixed (delete or
+    refresh the entry deliberately) or behaviour drifted (investigate).
+    """
+    engine = engine or MatrixEngine(jobs=1, cache=None)
+
+    if entry.kind == KIND_METAMORPHIC:
+        original = _flow_result(engine, entry, entry.original_source)
+        mutant = _flow_result(engine, entry, entry.source)
+        if REJECTED in (original.verdict, mutant.verdict):
+            return False, (
+                f"flow now rejects one side (original={original.verdict}, "
+                f"mutant={mutant.verdict})"
+            )
+        if original.observable == mutant.observable:
+            return False, "original and mutant now agree — divergence gone"
+        return True, (
+            f"{entry.mutation} mutant still diverges: "
+            f"{original.value} vs {mutant.value}"
+        )
+
+    if entry.kind == KIND_LINT_DISAGREE:
+        from ..analysis.lint import lint
+
+        report = lint(entry.source, flow=entry.flow)
+        clean = report.is_clean(entry.flow)
+        result = _flow_result(engine, entry, entry.source)
+        compiled = result.verdict != REJECTED
+        if clean != compiled:
+            return True, (
+                f"lint ({'clean' if clean else 'dirty'}) still disagrees "
+                f"with compile ({result.verdict})"
+            )
+        return False, "lint and compile verdicts now agree"
+
+    # Engine-verdict kinds (mismatch / error / timeout): the pinned verdict
+    # must persist.
+    result = _flow_result(engine, entry, entry.source)
+    expected_verdict = str(entry.expect.get("verdict", entry.kind))
+    if result.verdict != expected_verdict:
+        return False, (
+            f"verdict changed: recorded {expected_verdict}, "
+            f"got {result.verdict}"
+        )
+    expected_value = entry.expect.get("value", "__unset__")
+    if expected_value != "__unset__" and result.value != expected_value:
+        return False, (
+            f"value changed: recorded {expected_value}, got {result.value}"
+        )
+    return True, f"verdict {result.verdict} reproduced"
+
+
+def verify_hashes(corpus: Corpus) -> List[str]:
+    """Entries whose stored hash no longer matches their stored source —
+    a hand-edited entry that forgot to be renamed."""
+    stale = []
+    for entry in corpus.entries:
+        if program_hash(entry.source) != entry.program_hash:
+            stale.append(entry.signature.id)
+    return stale

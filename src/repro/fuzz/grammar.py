@@ -1,0 +1,433 @@
+"""The generative frontend: grammar-driven, flow-targeted program synthesis.
+
+Extends the width-aware expression machinery of
+:mod:`repro.workloads.generator` into a full program synthesizer covering
+the constructs the flows actually disagree on: nested control flow,
+arrays with masked (always in-bounds) indices, pointer walks where the
+target flow's subset has pointers, helper-function calls, CSP channels
+and ``par`` blocks where the flow has explicit concurrency, and
+bit-width mixes everywhere.
+
+Generation is *mask-directed*: :class:`repro.fuzz.masks.FeatureMask`
+(derived from the registry's lint rules) decides which profiles are
+available for a flow and which constructs the builder may emit.  In
+**boundary mode** the builder deliberately injects exactly one forbidden
+feature so the program straddles the flow's accept/reject frontier —
+the expectation flips to "the flow must reject this, and the linter must
+predict it".
+
+Everything is a pure function of ``(seed, flow, boundary)``: the same
+seed always yields byte-identical source, which is what makes fuzz
+campaigns replayable and the corpus deduplicatable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..lang.semantic import FEATURE_CHANNELS, FEATURE_PAR, FEATURE_POINTERS
+from ..workloads.generator import _COMPARE, _Generator
+from .masks import FeatureMask
+
+# Program shapes the synthesizer knows.  Availability depends on the mask.
+PROFILE_SCALAR = "scalar"      # straight-line width-mix dataflow
+PROFILE_CONTROL = "control"    # nested loops and conditionals
+PROFILE_ARRAY = "array"        # global arrays, masked indices
+PROFILE_CALLS = "calls"        # helper functions
+PROFILE_POINTER = "pointer"    # walking-pointer loops (pointer flows only)
+PROFILE_CHANNEL = "channel"    # producer process + rendezvous channel
+PROFILE_PAR = "par"            # par blocks with disjoint writes
+PROFILE_MIXED = "mixed"        # a bit of everything the mask allows
+
+_BASE_PROFILES = [PROFILE_SCALAR, PROFILE_CONTROL, PROFILE_ARRAY,
+                  PROFILE_CALLS, PROFILE_MIXED]
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One synthesized differential probe."""
+
+    name: str
+    source: str
+    args: Tuple[int, ...]
+    flow: str                       # the flow this program targets
+    profile: str
+    seed: int
+    boundary_feature: str = ""      # forbidden feature injected, if any
+
+    @property
+    def is_boundary(self) -> bool:
+        return bool(self.boundary_feature)
+
+
+def available_profiles(mask: FeatureMask) -> List[str]:
+    profiles = list(_BASE_PROFILES)
+    if mask.allows(FEATURE_POINTERS):
+        profiles.append(PROFILE_POINTER)
+    if mask.allows(FEATURE_CHANNELS) and mask.allows_processes:
+        profiles.append(PROFILE_CHANNEL)
+    if mask.allows(FEATURE_PAR):
+        profiles.append(PROFILE_PAR)
+    return profiles
+
+
+class _FuzzBuilder(_Generator):
+    """Width-aware statement/program builder on top of the expression
+    generator.  All loops are bounded by small literals (or literal
+    countdowns), all array indices are masked to the array size, and
+    division/modulo never appear — so every generated program terminates
+    within the interpreter's fuel bound and can never trap."""
+
+    def __init__(self, seed: int, mask: FeatureMask):
+        super().__init__(seed, width_mix=True)
+        self.mask = mask
+        self.globals: List[str] = []        # global declaration lines
+        self.helpers: List[str] = []        # helper function definitions
+        self.processes: List[str] = []      # process definitions
+        self.body: List[str] = []           # main body lines
+        self.scalars: List[str] = ["x", "y"]
+        # Loop counters: readable but never assignment targets (assigning
+        # one would break Cones' static bounds or countdown termination).
+        self.locked: set = set()
+        self.arrays: List[Tuple[str, int]] = []   # (name, power-of-two size)
+        self.helper_names: List[str] = []
+        self.channel_recv: List[Tuple[str, int]] = []  # (chan, item count)
+
+    # -- pieces ------------------------------------------------------------
+
+    def add_array(self) -> Tuple[str, int]:
+        size = self.rng.choice([4, 8, 16])
+        name = self.fresh("arr")
+        init = ", ".join(str(self.rng.randint(0, 63)) for _ in range(size))
+        self.globals.append(f"int {name}[{size}] = {{{init}}};")
+        self.arrays.append((name, size))
+        return name, size
+
+    def add_helper(self) -> str:
+        name = self.fresh("helper")
+        stmts = []
+        locals_ = ["a", "b"]
+        for _ in range(self.rng.randint(1, 3)):
+            var = self.fresh("h")
+            stmts.append(f"    int {var} = {self.expression(locals_, 2)};")
+            locals_.append(var)
+        body = "\n".join(stmts)
+        ret = self.expression(locals_, 2)
+        self.helpers.append(
+            f"int {name}(int a, int b) {{\n{body}\n    return {ret};\n}}"
+        )
+        self.helper_names.append(name)
+        return name
+
+    def add_channel_pipeline(self) -> None:
+        chan = self.fresh("ch")
+        count = self.rng.randint(2, 6)
+        scale = self.rng.randint(1, 9)
+        offset = self.constant()
+        self.globals.append(f"chan<int> {chan};")
+        self.processes.append(
+            f"process void feed_{chan}() {{\n"
+            f"    for (int i = 0; i < {count}; i++) {{\n"
+            f"        send({chan}, i * {scale} + {offset});\n"
+            f"    }}\n}}"
+        )
+        self.channel_recv.append((chan, count))
+
+    # -- statements ---------------------------------------------------------
+
+    def statement(self, indent: int, depth: int) -> List[str]:
+        pad = "    " * indent
+        roll = self.rng.random()
+        if roll < 0.30 or not self.scalars:
+            name = self.fresh()
+            width, signed = self.pick_width()
+            type_name = self.declare(name, width, signed)
+            line = (f"{pad}{type_name} {name} = "
+                    f"{self.target_expression(name, self.scalars, 2)};")
+            self.scalars.append(name)
+            return [line]
+        if roll < 0.50:
+            target = self.assign_target()
+            return [
+                f"{pad}{target} = "
+                f"{self.target_expression(target, self.scalars, 2)};"
+            ]
+        if roll < 0.65 and depth > 0:
+            cond = (f"({self.expression(self.scalars, 1)}"
+                    f" {self.rng.choice(_COMPARE)}"
+                    f" {self.expression(self.scalars, 1)})")
+            snapshot = list(self.scalars)
+            then = self.statement(indent + 1, depth - 1)
+            self.scalars = list(snapshot)
+            out = [f"{pad}if {cond} {{"] + then
+            if self.rng.random() < 0.5:
+                out.append(f"{pad}}} else {{")
+                out += self.statement(indent + 1, depth - 1)
+                self.scalars = list(snapshot)
+            out.append(f"{pad}}}")
+            return out
+        if roll < 0.80 and depth > 0:
+            return self.counted_loop(indent, depth)
+        if roll < 0.88 and depth > 0 and not self.mask.requires_static_bounds:
+            return self.countdown_loop(indent, depth)
+        if self.arrays and roll < 0.96:
+            return self.array_touch(indent)
+        # Fallback: accumulate into an existing scalar.
+        target = self.assign_target()
+        return [
+            f"{pad}{target} = "
+            f"{self.target_expression(target, self.scalars, 2)};"
+        ]
+
+    def assign_target(self) -> str:
+        pool = [v for v in self.scalars if v not in self.locked]
+        if len(pool) > 2 and self.rng.random() < 0.8:
+            return self.rng.choice(pool[2:])   # prefer non-parameters
+        return self.rng.choice(pool)
+
+    def counted_loop(self, indent: int, depth: int) -> List[str]:
+        pad = "    " * indent
+        bound = self.rng.randint(2, 8)
+        loop_var = self.fresh("i")
+        self.declare(loop_var)
+        out = [f"{pad}for (int {loop_var} = 0; {loop_var} < {bound};"
+               f" {loop_var}++) {{"]
+        snapshot = list(self.scalars)
+        self.scalars.append(loop_var)
+        self.locked.add(loop_var)
+        for _ in range(self.rng.randint(1, 2)):
+            out += self.statement(indent + 1, depth - 1)
+        self.scalars = list(snapshot)
+        self.locked.discard(loop_var)
+        out.append(f"{pad}}}")
+        return out
+
+    def countdown_loop(self, indent: int, depth: int) -> List[str]:
+        """A data-dependent-looking while loop that provably terminates:
+        a literal countdown the flows cannot bound statically."""
+        pad = "    " * indent
+        counter = self.fresh("t")
+        self.declare(counter, 8, False)
+        start = self.rng.randint(2, 12)
+        out = [f"{pad}uint8 {counter} = {start};",
+               f"{pad}while ({counter} != 0) {{"]
+        snapshot = list(self.scalars) + [counter]
+        self.scalars.append(counter)
+        self.locked.add(counter)
+        for _ in range(self.rng.randint(1, 2)):
+            out += self.statement(indent + 1, depth - 1)
+        self.scalars = list(snapshot)
+        out.append(f"{pad}    {counter} = {counter} - 1;")
+        out.append(f"{pad}}}")
+        return out
+
+    def array_touch(self, indent: int) -> List[str]:
+        pad = "    " * indent
+        name, size = self.rng.choice(self.arrays)
+        index = f"({self.expression(self.scalars, 1)}) & {size - 1}"
+        if self.rng.random() < 0.5:
+            target = self.assign_target()
+            return [f"{pad}{target} = {target} ^ {name}[{index}];"]
+        return [f"{pad}{name}[{index}] = {self.expression(self.scalars, 2)};"]
+
+    def call_stmt(self, indent: int) -> List[str]:
+        pad = "    " * indent
+        helper = self.rng.choice(self.helper_names)
+        a = self.expression(self.scalars, 1)
+        b = self.expression(self.scalars, 1)
+        name = self.fresh()
+        self.declare(name)
+        self.scalars.append(name)
+        return [f"{pad}int {name} = {helper}({a}, {b});"]
+
+    def pointer_walk(self, indent: int) -> List[str]:
+        pad = "    " * indent
+        if not self.arrays:
+            self.add_array()
+        name, size = self.rng.choice(self.arrays)
+        p = self.fresh("p")
+        acc = self.fresh("pa")
+        self.declare(acc)
+        steps = self.rng.randint(2, size)
+        out = [
+            f"{pad}int *{p} = &{name}[0];",
+            f"{pad}int {acc} = 0;",
+            f"{pad}for (int w = 0; w < {steps}; w++) {{",
+            f"{pad}    {acc} = {acc} + *{p};",
+            f"{pad}    {p} = {p} + 1;",
+            f"{pad}}}",
+        ]
+        if self.rng.random() < 0.5:
+            out.insert(2, f"{pad}*{p} = {self.constant()};")
+        self.scalars.append(acc)
+        return out
+
+    def par_block(self, indent: int) -> List[str]:
+        """Disjoint writes in parallel branches: each branch assigns its
+        own fresh variable from pre-existing state, so the block is
+        deterministic and race-free."""
+        pad = "    " * indent
+        readable = list(self.scalars)
+        branches = []
+        fresh = []
+        for _ in range(self.rng.randint(2, 3)):
+            name = self.fresh("pv")
+            self.declare(name)
+            fresh.append(name)
+            branches.append(
+                f"{pad}    {name} = {self.expression(readable, 2)};"
+            )
+        out = [f"{pad}int {name} = 0;" for name in fresh]
+        out.append(f"{pad}par {{")
+        out += branches
+        out.append(f"{pad}}}")
+        self.scalars.extend(fresh)
+        return out
+
+    def channel_reads(self, indent: int) -> List[str]:
+        pad = "    " * indent
+        out = []
+        for chan, count in self.channel_recv:
+            acc = self.fresh("cv")
+            item = self.fresh("cr")
+            self.declare(acc), self.declare(item)
+            # Handel-C's translation needs recv() standing alone on the
+            # right-hand side, and every other flow accepts that shape too.
+            out += [
+                f"{pad}int {acc} = 0;",
+                f"{pad}int {item} = 0;",
+                f"{pad}for (int r = 0; r < {count}; r++) {{",
+                f"{pad}    {item} = recv({chan});",
+                f"{pad}    {acc} = {acc} + {item};",
+                f"{pad}}}",
+            ]
+            self.scalars.append(acc)
+        return out
+
+    # -- boundary injection --------------------------------------------------
+
+    def inject_boundary(self, feature: str) -> List[str]:
+        """Emit exactly one construct from the flow's forbidden set."""
+        if feature == FEATURE_POINTERS:
+            if not self.arrays:
+                self.add_array()
+            name, _ = self.arrays[0]
+            p = self.fresh("bp")
+            acc = self.rng.choice(self.scalars)
+            return [
+                f"    int *{p} = &{name}[0];",
+                f"    {acc} = {acc} + *{p};",
+            ]
+        if feature == FEATURE_CHANNELS:
+            chan = self.fresh("bc")
+            self.globals.append(f"chan<int> {chan};")
+            self.processes.append(
+                f"process void feed_{chan}() {{\n"
+                f"    send({chan}, {self.constant()});\n}}"
+            )
+            acc = self.rng.choice(self.scalars)
+            return [f"    {acc} = recv({chan});"]
+        if feature == FEATURE_PAR:
+            a = self.fresh("ba")
+            b = self.fresh("bb")
+            return [
+                f"    int {a} = 0;",
+                f"    int {b} = 0;",
+                "    par {",
+                f"        {a} = x + 1;",
+                f"        {b} = y + 2;",
+                "    }",
+                f"    x = x ^ {a} ^ {b};",
+            ]
+        raise ValueError(f"cannot inject feature {feature!r}")
+
+    # -- assembly ------------------------------------------------------------
+
+    def render(self) -> str:
+        parts: List[str] = []
+        parts += self.globals
+        parts += self.helpers
+        parts += self.processes
+        body = "\n".join(self.body)
+        parts.append(f"int main(int x, int y) {{\n{body}\n}}")
+        return "\n".join(parts)
+
+
+def generate_program(
+    seed: int,
+    mask: FeatureMask,
+    boundary: bool = False,
+    statements: int = 8,
+) -> GeneratedProgram:
+    """Synthesize one program targeting ``mask.flow``.
+
+    Non-boundary programs stay strictly inside the flow's accepted subset
+    (the property suite asserts they lint clean); boundary programs add
+    exactly one forbidden construct and are expected to be rejected.
+    """
+    builder = _FuzzBuilder(seed * 2 + (1 if boundary else 0), mask)
+    rng = builder.rng
+    builder.declare("x"), builder.declare("y")
+
+    profiles = available_profiles(mask)
+    profile = profiles[seed % len(profiles)]
+
+    boundary_feature = ""
+    if boundary:
+        choices = mask.boundary_features
+        if not choices:
+            boundary = False           # flow accepts every probe feature
+        else:
+            boundary_feature = choices[seed % len(choices)]
+            profile = PROFILE_SCALAR if seed % 2 == 0 else PROFILE_CONTROL
+
+    if profile in (PROFILE_ARRAY, PROFILE_MIXED, PROFILE_POINTER):
+        for _ in range(rng.randint(1, 2)):
+            builder.add_array()
+    if profile in (PROFILE_CALLS, PROFILE_MIXED):
+        for _ in range(rng.randint(1, 2)):
+            builder.add_helper()
+    if profile == PROFILE_CHANNEL or (
+        profile == PROFILE_MIXED
+        and mask.allows(FEATURE_CHANNELS)
+        and mask.allows_processes
+        and rng.random() < 0.4
+    ):
+        builder.add_channel_pipeline()
+
+    depth = 0 if profile == PROFILE_SCALAR else 2
+    for _ in range(statements):
+        builder.body += builder.statement(1, depth)
+        if builder.helper_names and rng.random() < 0.25:
+            builder.body += builder.call_stmt(1)
+    if profile == PROFILE_POINTER:
+        builder.body += builder.pointer_walk(1)
+    if profile == PROFILE_PAR or (
+        profile == PROFILE_MIXED
+        and mask.allows(FEATURE_PAR)
+        and rng.random() < 0.5
+    ):
+        builder.body += builder.par_block(1)
+    if builder.channel_recv:
+        builder.body += builder.channel_reads(1)
+
+    if boundary_feature:
+        builder.body += builder.inject_boundary(boundary_feature)
+
+    checksum = " ^ ".join(builder.scalars)
+    builder.body.append(f"    return {checksum};")
+
+    args = (rng.randint(-100, 100), rng.randint(-100, 100))
+    name = f"fuzz-{mask.flow}-s{seed}"
+    if boundary_feature:
+        name += f"-bnd-{boundary_feature}"
+    return GeneratedProgram(
+        name=name,
+        source=builder.render(),
+        args=args,
+        flow=mask.flow,
+        profile=profile,
+        seed=seed,
+        boundary_feature=boundary_feature,
+    )

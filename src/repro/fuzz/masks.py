@@ -1,0 +1,81 @@
+"""Per-flow feature masks, derived from the linter's rule sets.
+
+The generative frontend must know, per flow, which language features the
+flow's historical tool accepted — a program fuzzing Handel-C should use
+``par`` and channels but never pointers, while one fuzzing C2Verilog
+should do the opposite.  Rather than duplicating each flow's ``FORBIDDEN``
+table, the mask is *derived* from ``flows.registry.lint_rules``: the same
+:class:`FeatureRule` instances that predict compile rejections tell the
+generator what to avoid (or, in boundary mode, what to deliberately
+include), and the structural rules (``NoProcessRule``,
+``StaticLoopBoundRule``) constrain program shape.  A new flow — or a
+changed restriction on an existing one — retargets the fuzzer with no
+fuzzer change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..analysis.lint.rules import FeatureRule, NoProcessRule, StaticLoopBoundRule
+from ..flows import COMPILABLE
+from ..flows.registry import lint_rules
+from ..lang.semantic import (
+    FEATURE_CHANNELS,
+    FEATURE_PAR,
+    FEATURE_POINTERS,
+)
+
+# Features the generator knows how to emit deliberately.  Recursion is
+# excluded: a recursive program cannot be validated by the bounded
+# interpreter without also being rejected by every flow, so it makes a
+# poor differential probe.
+GENERATABLE_FEATURES = (FEATURE_POINTERS, FEATURE_CHANNELS, FEATURE_PAR)
+
+
+@dataclass(frozen=True)
+class FeatureMask:
+    """What the generator may emit when targeting one flow."""
+
+    flow: str
+    forbidden: FrozenSet[str]       # feature names the flow would reject
+    allows_processes: bool          # NoProcessRule absent
+    requires_static_bounds: bool    # StaticLoopBoundRule present (Cones)
+
+    def allows(self, feature: str) -> bool:
+        return feature not in self.forbidden
+
+    @property
+    def boundary_features(self) -> Tuple[str, ...]:
+        """Forbidden features the generator can deliberately inject to
+        probe the accept/reject boundary of this flow."""
+        return tuple(
+            f for f in GENERATABLE_FEATURES if f in self.forbidden
+        )
+
+
+def feature_mask(flow: str) -> FeatureMask:
+    """Build the mask for ``flow`` from its registered lint rules."""
+    forbidden = set()
+    allows_processes = True
+    requires_static_bounds = False
+    for rule in lint_rules(flow):
+        if isinstance(rule, FeatureRule):
+            forbidden.add(rule.feature)
+        elif isinstance(rule, NoProcessRule):
+            allows_processes = False
+        elif isinstance(rule, StaticLoopBoundRule):
+            requires_static_bounds = True
+    return FeatureMask(
+        flow=flow,
+        forbidden=frozenset(forbidden),
+        allows_processes=allows_processes,
+        requires_static_bounds=requires_static_bounds,
+    )
+
+
+def all_masks(flows: List[str] = None) -> Dict[str, FeatureMask]:
+    """Masks for the given flows (default: every compilable flow)."""
+    selected = list(flows) if flows is not None else list(COMPILABLE)
+    return {key: feature_mask(key) for key in selected}

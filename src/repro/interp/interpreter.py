@@ -258,6 +258,14 @@ class Interpreter:
             try:
                 yield from self._exec_block(fn.body, env)
             except _Return as ret:
+                # C converts the return expression to the declared return
+                # type; the RTL side types the return register the same way,
+                # so skipping this wrap makes e.g. ``int f()`` returning a
+                # uint-typed expression diverge from every flow.
+                if isinstance(ret.value, int) and isinstance(
+                    fn.return_type, (IntType, BoolType)
+                ):
+                    return wrap(ret.value, fn.return_type)
                 return ret.value
             return None
 

@@ -5,72 +5,144 @@ tests (every flow must agree with the interpreter on *any* generated
 program) and for scaling studies (ILP vs. block size).  All generated
 arithmetic avoids division so no run can trap; shifts are masked to
 well-defined amounts.
+
+Every expression is generated against a **target width**: the declared
+bit-width of the variable the expression is assigned to.  Constants are
+drawn from the representable range of that width and shift amounts stay
+below it, so a ``uint5`` accumulator is never shifted by 7 or multiplied
+by a constant its type cannot hold.  ``width_mix=True`` makes the
+declaration sites draw from a palette of narrow/wide signed/unsigned
+types — the bit-width–mix territory where HLS flows historically
+disagree (the fuzzing frontend in :mod:`repro.fuzz` relies on this).
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 _SAFE_BINARY = ["+", "-", "*", "&", "|", "^"]
 _COMPARE = ["<", "<=", ">", ">=", "==", "!="]
 
+# (width, signed) palette for width_mix declarations.  ``int`` stays the
+# most common so mixed programs still look like the paper's C.
+_WIDTH_PALETTE: List[Tuple[int, bool]] = [
+    (32, True), (32, True), (32, True),
+    (32, False),
+    (16, True), (16, False),
+    (8, True), (8, False),
+    (12, True), (5, False), (24, False),
+]
+
+
+def _type_name(width: int, signed: bool) -> str:
+    if width == 32 and signed:
+        return "int"
+    return f"{'int' if signed else 'uint'}{width}"
+
 
 class _Generator:
-    def __init__(self, seed: int):
+    def __init__(self, seed: int, width_mix: bool = False):
         self.rng = random.Random(seed)
         self.counter = 0
+        self.width_mix = width_mix
+        # Declared (width, signed) per variable; anything not recorded is
+        # a plain 32-bit int (function parameters, loop counters).
+        self.widths = {}
 
     def fresh(self, prefix: str = "v") -> str:
         self.counter += 1
         return f"{prefix}{self.counter}"
 
-    def expression(self, variables: List[str], depth: int) -> str:
+    def declare(self, name: str, width: int = 32, signed: bool = True) -> str:
+        """Record a declaration and return its type spelling."""
+        self.widths[name] = (width, signed)
+        return _type_name(width, signed)
+
+    def pick_width(self) -> Tuple[int, bool]:
+        if self.width_mix:
+            return self.rng.choice(_WIDTH_PALETTE)
+        return (32, True)
+
+    def constant(self, width: int = 32, signed: bool = True) -> int:
+        """A literal that fits the target width: at most 8 bits of
+        magnitude, and never outside the type's representable range."""
+        bound = (1 << (width - 1)) - 1 if signed else (1 << width) - 1
+        return self.rng.randint(0, max(0, min(255, bound)))
+
+    def expression(
+        self,
+        variables: List[str],
+        depth: int,
+        width: int = 32,
+        signed: bool = True,
+    ) -> str:
+        """An expression tree for a target of the given width: constants
+        and shift amounts respect ``width`` rather than assuming 32 bits."""
         if depth <= 0 or not variables or self.rng.random() < 0.3:
             if variables and self.rng.random() < 0.7:
                 return self.rng.choice(variables)
-            return str(self.rng.randint(0, 255))
+            return str(self.constant(width, signed))
         kind = self.rng.random()
         if kind < 0.75:
             op = self.rng.choice(_SAFE_BINARY)
-            left = self.expression(variables, depth - 1)
-            right = self.expression(variables, depth - 1)
+            left = self.expression(variables, depth - 1, width, signed)
+            right = self.expression(variables, depth - 1, width, signed)
             return f"({left} {op} {right})"
         if kind < 0.85:
-            amount = self.rng.randint(0, 7)
-            left = self.expression(variables, depth - 1)
+            amount = self.rng.randint(0, max(0, width - 1))
+            left = self.expression(variables, depth - 1, width, signed)
             direction = self.rng.choice(["<<", ">>"])
             return f"({left} {direction} {amount})"
         cond_op = self.rng.choice(_COMPARE)
-        a = self.expression(variables, depth - 1)
-        b = self.expression(variables, depth - 1)
-        t = self.expression(variables, depth - 1)
-        f = self.expression(variables, depth - 1)
+        a = self.expression(variables, depth - 1, width, signed)
+        b = self.expression(variables, depth - 1, width, signed)
+        t = self.expression(variables, depth - 1, width, signed)
+        f = self.expression(variables, depth - 1, width, signed)
         return f"(({a} {cond_op} {b}) ? {t} : {f})"
 
+    def target_expression(self, name: str, variables: List[str], depth: int) -> str:
+        """An expression sized for assignment to declared variable ``name``."""
+        width, signed = self.widths.get(name, (32, True))
+        return self.expression(variables, depth, width, signed)
 
-def dataflow_source(seed: int, statements: int = 12, depth: int = 3) -> str:
+
+def dataflow_source(
+    seed: int, statements: int = 12, depth: int = 3, width_mix: bool = False
+) -> str:
     """A straight-line arithmetic kernel: declarations and reassignments
     over scalars, returning a checksum.  Pure dataflow — the shape ILP
-    extraction likes."""
-    g = _Generator(seed)
+    extraction likes.  ``width_mix`` draws declaration types from the
+    narrow/wide palette instead of plain ``int``."""
+    g = _Generator(seed, width_mix=width_mix)
     variables: List[str] = []
     lines = ["int main(int x, int y) {"]
     variables += ["x", "y"]
+    g.declare("x"), g.declare("y")
     for _ in range(statements):
         if variables and g.rng.random() < 0.4:
             target = g.rng.choice([v for v in variables if v not in ("x", "y")] or ["x"])
             if target in ("x", "y"):
                 target = g.fresh()
+                width, signed = g.pick_width()
+                type_name = g.declare(target, width, signed)
                 lines.append(
-                    f"    int {target} = {g.expression(variables, depth)};"
+                    f"    {type_name} {target} = "
+                    f"{g.target_expression(target, variables, depth)};"
                 )
                 variables.append(target)
                 continue
-            lines.append(f"    {target} = {g.expression(variables, depth)};")
+            lines.append(
+                f"    {target} = {g.target_expression(target, variables, depth)};"
+            )
         else:
             name = g.fresh()
-            lines.append(f"    int {name} = {g.expression(variables, depth)};")
+            width, signed = g.pick_width()
+            type_name = g.declare(name, width, signed)
+            lines.append(
+                f"    {type_name} {name} = "
+                f"{g.target_expression(name, variables, depth)};"
+            )
             variables.append(name)
     checksum = " ^ ".join(variables)
     lines.append(f"    return {checksum};")
@@ -78,13 +150,17 @@ def dataflow_source(seed: int, statements: int = 12, depth: int = 3) -> str:
     return "\n".join(lines)
 
 
-def control_source(seed: int, blocks: int = 4, depth: int = 2) -> str:
+def control_source(
+    seed: int, blocks: int = 4, depth: int = 2, width_mix: bool = False
+) -> str:
     """A control-heavy kernel: bounded counted loops and nested
     conditionals over an accumulator.  Always terminates (loop bounds are
     literal constants)."""
-    g = _Generator(seed)
+    g = _Generator(seed, width_mix=width_mix)
     lines = ["int main(int x, int y) {", "    int acc = x ^ y;"]
     variables = ["x", "y", "acc"]
+    for name in variables:
+        g.declare(name)
 
     def emit_block(indent: int, budget: int) -> None:
         pad = "    " * indent
@@ -93,6 +169,7 @@ def control_source(seed: int, blocks: int = 4, depth: int = 2) -> str:
             if choice < 0.35 and indent < 4:
                 bound = g.rng.randint(2, 8)
                 loop_var = g.fresh("i")
+                g.declare(loop_var)
                 lines.append(
                     f"{pad}for (int {loop_var} = 0; {loop_var} < {bound};"
                     f" {loop_var}++) {{"
@@ -130,8 +207,11 @@ def control_source(seed: int, blocks: int = 4, depth: int = 2) -> str:
                 lines.append(f"{pad}}}")
             else:
                 name = g.fresh()
+                width, signed = g.pick_width()
+                type_name = g.declare(name, width, signed)
                 lines.append(
-                    f"{pad}int {name} = {g.expression(variables, depth)};"
+                    f"{pad}{type_name} {name} = "
+                    f"{g.target_expression(name, variables, depth)};"
                 )
                 variables.append(name)
 

@@ -1,0 +1,90 @@
+"""Property-based contracts for the fuzzing subsystem.
+
+Over random (seed, flow) pairs:
+
+* every generated non-boundary program parses, lints clean for its target
+  flow, and terminates in the reference interpreter within the fuel bound
+  — the generator never wastes engine time on frontend rejects;
+* every boundary program is flagged by the linter with an ERROR for the
+  injected forbidden feature — the generator really does straddle the
+  accept/reject line, and the linter sees it coming;
+* every metamorphic mutant is a valid program with the *same* interpreter
+  observable as its original — so any flow-side divergence between the
+  two is a flow bug, never a fuzzer bug.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.flows import COMPILABLE
+from repro.fuzz import feature_mask, generate_program, mutants
+from repro.interp import run_source
+from repro.lang import parse
+from repro.analysis.lint import lint
+
+_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_FLOWS = sorted(COMPILABLE)
+
+seeds = st.integers(min_value=0, max_value=5000)
+flow_keys = st.sampled_from(_FLOWS)
+
+
+@given(seed=seeds, flow=flow_keys)
+@settings(**_SETTINGS)
+def test_generated_programs_parse_lint_clean_and_terminate(seed, flow):
+    mask = feature_mask(flow)
+    program = generate_program(seed, mask)
+    parse(program.source)                      # valid frontend input
+    report = lint(program.source, flow=flow)
+    assert report.is_clean(flow), (
+        f"seed {seed} for {flow} is not lint-clean: "
+        f"{[str(d) for d in report.errors(flow)]}"
+    )
+    result = run_source(program.source, args=program.args)
+    assert result is not None                  # terminated within fuel
+
+
+@given(seed=seeds, flow=flow_keys)
+@settings(**_SETTINGS)
+def test_boundary_programs_are_lint_flagged(seed, flow):
+    mask = feature_mask(flow)
+    if not mask.boundary_features:
+        return
+    program = generate_program(seed, mask, boundary=True)
+    assert program.is_boundary
+    report = lint(program.source, flow=flow)
+    assert report.errors(flow), (
+        f"boundary seed {seed} injected {program.boundary_feature!r} "
+        f"but lint sees {flow} as clean"
+    )
+
+
+@given(seed=seeds, flow=flow_keys)
+@settings(**_SETTINGS)
+def test_mutants_preserve_interpreter_observables(seed, flow):
+    mask = feature_mask(flow)
+    program = generate_program(seed, mask)
+    reference = run_source(program.source, args=program.args).observable()
+    for mutant in mutants(program.source, seed=seed, count=3, mask=mask):
+        parse(mutant.source)
+        mutated = run_source(mutant.source, args=program.args).observable()
+        assert mutated == reference, (
+            f"{mutant.name} changed semantics on seed {seed} ({flow}): "
+            f"{reference} -> {mutated}"
+        )
+
+
+@given(seed=seeds, flow=flow_keys)
+@settings(**_SETTINGS)
+def test_generation_is_deterministic(seed, flow):
+    mask = feature_mask(flow)
+    first = generate_program(seed, mask)
+    second = generate_program(seed, mask)
+    assert first.source == second.source
+    assert first.args == second.args
+    assert [m.source for m in mutants(first.source, seed=seed, mask=mask)] \
+        == [m.source for m in mutants(second.source, seed=seed, mask=mask)]

@@ -1,0 +1,76 @@
+"""Replay the triaged failure corpus as regression tests.
+
+Each JSON file under tests/corpus/<flow>/ pins one reduced divergence the
+fuzzer found (or a seeded known-divergence reproducer): the program, its
+inputs, and the verdict the flow produced.  Replaying asserts the pinned
+behaviour still holds — if an entry starts failing here, the underlying
+divergence changed: either the bug was fixed (delete or refresh the
+entry, deliberately) or behaviour drifted (investigate).
+
+The suite also enforces corpus hygiene: content hashes match sources,
+filenames match signatures, and every reproducer is 1-minimal at
+statement granularity under its own signature predicate.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import Corpus, is_statement_minimal, program_hash, replay_entry
+from repro.fuzz.campaign import reduction_predicate
+from repro.fuzz.signature import Divergence
+from repro.runner.engine import MatrixEngine
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+_corpus = Corpus(CORPUS_DIR)
+_entries = {entry.signature.id: entry for entry in _corpus.entries}
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return MatrixEngine(jobs=1, cache=None, timeout_s=30.0, max_cycles=200_000)
+
+
+def test_corpus_is_populated():
+    assert len(_corpus) >= 10
+
+
+def test_hashes_match_sources():
+    for entry in _corpus.entries:
+        assert program_hash(entry.source) == entry.program_hash, (
+            f"{entry.signature.id}: stored source no longer matches its hash"
+        )
+
+
+def test_filenames_match_signatures():
+    for entry in _corpus.entries:
+        path = entry.path(_corpus.root)
+        assert path.is_file(), f"{entry.signature.id} expected at {path}"
+
+
+@pytest.mark.parametrize("signature_id", sorted(_entries))
+def test_entry_replays(signature_id, engine):
+    entry = _entries[signature_id]
+    reproduced, detail = replay_entry(entry, engine)
+    assert reproduced, (
+        f"{signature_id} no longer reproduces: {detail}\n"
+        f"If the underlying divergence was fixed on purpose, delete or "
+        f"refresh this corpus entry."
+    )
+
+
+@pytest.mark.parametrize("signature_id", sorted(_entries))
+def test_entry_is_statement_minimal(signature_id, engine):
+    entry = _entries[signature_id]
+    divergence = Divergence(
+        flow=entry.flow, kind=entry.kind, source=entry.source,
+        args=tuple(entry.args), rule=entry.rule,
+    )
+    predicate = reduction_predicate(divergence, engine)
+    if predicate is None:      # metamorphic entries replay as pairs instead
+        pytest.skip("kind is not reduced on a single program")
+    assert is_statement_minimal(entry.source, predicate), (
+        f"{signature_id} is not 1-minimal: some single statement can be "
+        f"deleted without losing the divergence"
+    )

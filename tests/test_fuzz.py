@@ -1,0 +1,208 @@
+"""Unit tests for the fuzzing subsystem: masks, grammar, mutations,
+signatures, corpus storage, and campaign determinism."""
+
+import json
+
+import pytest
+
+from repro.analysis.lint import lint
+from repro.flows import COMPILABLE
+from repro.fuzz import (
+    CampaignConfig,
+    Corpus,
+    CorpusEntry,
+    MUTATION_NAMES,
+    all_masks,
+    available_profiles,
+    feature_mask,
+    generate_program,
+    mutants,
+    program_hash,
+    run_campaign,
+)
+from repro.fuzz.corpus import entry_from_divergence
+from repro.fuzz.masks import GENERATABLE_FEATURES
+from repro.fuzz.signature import Divergence, KIND_MISMATCH, Signature
+from repro.lang import parse
+from repro.lang.semantic import FEATURE_CHANNELS, FEATURE_PAR, FEATURE_POINTERS
+
+
+class TestMasks:
+    def test_every_compilable_flow_has_a_mask(self):
+        masks = all_masks()
+        assert set(masks) == set(COMPILABLE)
+
+    def test_masks_mirror_the_lint_registry(self):
+        # Spot-check flows whose restrictions the paper documents.
+        assert not feature_mask("handelc").allows(FEATURE_POINTERS)
+        assert feature_mask("handelc").allows(FEATURE_CHANNELS)
+        assert feature_mask("handelc").allows(FEATURE_PAR)
+        assert not feature_mask("c2verilog").allows(FEATURE_CHANNELS)
+        assert feature_mask("cones").requires_static_bounds
+        assert not feature_mask("cones").allows_processes
+
+    def test_boundary_features_are_generatable_and_forbidden(self):
+        for flow, mask in all_masks().items():
+            for feature in mask.boundary_features:
+                assert feature in GENERATABLE_FEATURES
+                assert not mask.allows(feature)
+
+    def test_unknown_flow_raises(self):
+        with pytest.raises(KeyError):
+            feature_mask("vaporware")
+
+
+class TestGrammar:
+    def test_profiles_respect_the_mask(self):
+        for flow, mask in all_masks().items():
+            for profile in available_profiles(mask):
+                program = generate_program(11, mask)
+                parse(program.source)
+
+    def test_forbidden_profiles_are_excluded(self):
+        handelc = available_profiles(feature_mask("handelc"))
+        assert "pointer" not in handelc
+        assert "channel" in handelc
+        c2v = available_profiles(feature_mask("c2verilog"))
+        assert "channel" not in c2v
+        assert "pointer" in c2v
+
+    def test_boundary_program_names_carry_the_feature(self):
+        mask = feature_mask("handelc")
+        program = generate_program(7, mask, boundary=True)
+        assert program.is_boundary
+        assert program.boundary_feature in mask.boundary_features
+        assert "bnd" in program.name
+
+    def test_boundary_downgrades_when_nothing_is_forbidden(self):
+        mask = feature_mask("specc")     # permissive: nothing to inject
+        if mask.boundary_features:
+            pytest.skip("specc grew restrictions")
+        program = generate_program(3, mask, boundary=True)
+        assert not program.is_boundary   # silently a clean-side program
+
+
+class TestMutations:
+    SOURCE = (
+        "int main(int x, int y) {\n"
+        "    int a = x + y;\n"
+        "    int b = (a * 3) & (y ^ x);\n"
+        "    for (int i = 0; i < 4; i++) {\n"
+        "        a = a + b;\n"
+        "    }\n"
+        "    return a ^ b;\n"
+        "}\n"
+    )
+
+    def test_mutants_are_valid_and_distinct(self):
+        produced = mutants(self.SOURCE, seed=1, count=4)
+        assert produced
+        seen = set()
+        for mutant in produced:
+            assert mutant.name in MUTATION_NAMES
+            parse(mutant.source)
+            assert mutant.source != self.SOURCE
+            assert mutant.source not in seen
+            seen.add(mutant.source)
+
+    def test_mutants_are_deterministic(self):
+        first = [m.source for m in mutants(self.SOURCE, seed=9, count=3)]
+        second = [m.source for m in mutants(self.SOURCE, seed=9, count=3)]
+        assert first == second
+
+    def test_static_bound_masks_suppress_loop_rotation(self):
+        cones = feature_mask("cones")
+        for mutant in mutants(self.SOURCE, seed=2, count=6, mask=cones):
+            assert mutant.name != "rotate-loop"
+
+
+class TestSignatures:
+    def test_hash_ignores_layout(self):
+        a = "int main(int x, int y) { return x + y; }"
+        b = "int main(int x,\n  int y)\n{\n  return x + y;  // sum\n}"
+        assert program_hash(a) == program_hash(b)
+
+    def test_hash_sees_token_changes(self):
+        a = "int main(int x, int y) { return x + y; }"
+        b = "int main(int x, int y) { return x - y; }"
+        assert program_hash(a) != program_hash(b)
+
+    def test_id_and_coarse(self):
+        sig = Signature("handelc", "mismatch", "", "abc123")
+        assert sig.id == "handelc--mismatch--abc123"
+        assert sig.coarse == ("handelc", "mismatch", "")
+        with_rule = Signature("cones", "lint-disagree", "SYN101", "fff")
+        assert with_rule.id == "cones--lint-disagree--SYN101--fff"
+
+    def test_divergence_prefers_reduced_source(self):
+        divergence = Divergence(
+            flow="cash", kind=KIND_MISMATCH,
+            source="int main(int x, int y) { int dead = 1; return x; }",
+        )
+        full = divergence.signature()
+        divergence.reduced_source = "int main(int x, int y) { return x; }"
+        reduced = divergence.signature()
+        assert full.program_hash != reduced.program_hash
+        assert full.coarse == reduced.coarse
+
+
+class TestCorpusStorage:
+    def _divergence(self):
+        return Divergence(
+            flow="cash", kind=KIND_MISMATCH,
+            source="int g = 1;\nint main(int x, int y) { return x; }\n",
+            args=(1, 2), detail="test entry", seed=42, profile="seeded",
+            extra={"expect": {"verdict": "mismatch", "value": 1}},
+        )
+
+    def test_entry_round_trips_through_json(self):
+        entry = entry_from_divergence(self._divergence())
+        clone = CorpusEntry.from_json(entry.to_json())
+        assert clone == entry
+        assert json.loads(entry.to_json())["expect"]["verdict"] == "mismatch"
+
+    def test_add_is_idempotent(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        first = corpus.add(self._divergence())
+        assert first is not None
+        assert first.path(corpus.root).is_file()
+        assert corpus.add(self._divergence()) is None
+        assert len(Corpus(tmp_path)) == 1
+
+    def test_known_coarse_matches_reduced_variants(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.add(self._divergence())
+        other = self._divergence()
+        other.reduced_source = "int main(int x, int y) { return x; }"
+        assert other.signature() not in corpus
+        assert other.signature().coarse in corpus.known_coarse()
+
+
+class TestCampaignDeterminism:
+    def _run(self, tmp_path):
+        config = CampaignConfig(
+            flows=["cyber"], seeds=8, jobs=1, reduce=False,
+            mutations=1, corpus_dir=tmp_path / "corpus",
+        )
+        return run_campaign(config)
+
+    def test_same_seeds_same_signatures(self, tmp_path):
+        first = self._run(tmp_path)
+        second = self._run(tmp_path)
+        assert [d.signature().id for d in first.divergences] \
+            == [d.signature().id for d in second.divergences]
+        assert first.cells_run == second.cells_run
+        assert first.stats["cyber"].ok == second.stats["cyber"].ok
+
+    def test_boundary_seeds_probe_rejections(self, tmp_path):
+        report = self._run(tmp_path)
+        stats = report.stats["cyber"]
+        assert stats.boundary_seeds == 2          # seeds 3 and 7 of 0..7
+        assert stats.expected_rejections == 2     # both rejected, both predicted
+        assert stats.seeds == 8
+
+    def test_boundary_rejections_are_lint_predicted(self):
+        mask = feature_mask("cyber")
+        program = generate_program(3, mask, boundary=True)
+        report = lint(program.source, flow="cyber")
+        assert report.errors("cyber")
