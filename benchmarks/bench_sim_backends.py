@@ -1,0 +1,223 @@
+"""E15 — compiled-backend speedup over the reference FSMD interpreter.
+
+The closure-compiled backend (:mod:`repro.sim.compiled`) exists for one
+reason: long differential campaigns spend almost all their wall clock
+inside the cycle loop.  This experiment times the same long-running
+kernels through both engines, per flow, and pins two properties:
+
+* **bit identity** — every timed run compares full observables (value,
+  cycles, globals, channel logs) between backends before its timing is
+  allowed into the table; a speedup obtained by diverging is a bug, not
+  a result;
+* **the floor** — at least 5x on long single-machine kernels (the fast
+  path), and at least 2x in the quick CI configuration, where the
+  kernels are short enough that fixed costs eat into the ratio.
+
+The rendezvous row exercises the general multi-machine scheduler, whose
+per-cycle work is dominated by cross-machine bookkeeping; it is reported
+but held only to >1x.  A fuzz-campaign throughput line shows the other
+end of the envelope: fuzz programs are tiny and run for a handful of
+cycles, so one-time specialization roughly cancels the per-cycle win —
+the backend pays off on long simulations, not short ones (see
+docs/simulation.md for the guidance).
+"""
+
+import time
+
+from repro.flows import compile_flow
+from repro.fuzz import CampaignConfig, run_campaign
+from repro.report import format_table
+from repro.sim import SimProfile
+
+LONG_N = 40_000     # ~160k+ cycles per flow: the steady-state regime
+QUICK_N = 6_000     # CI-sized; fixed costs are a visible fraction
+LONG_FLOOR = 5.0
+QUICK_FLOOR = 2.0
+
+# A register-only kernel every FSMD flow schedules: the fast path.
+KERNEL = """
+int main(int n) {
+    int i;
+    int acc = 1;
+    for (i = 0; i < n; i = i + 1) {
+        acc = (acc + i * i + (acc >> 3)) % 9973;
+    }
+    return acc;
+}
+"""
+
+# Memory traffic through a real array: loads and stores every cycle.
+MEM_KERNEL = """
+int buf[64];
+int main(int n) {
+    int i;
+    int s = 0;
+    for (i = 0; i < n; i = i + 1) {
+        buf[i & 63] = buf[(i + 7) & 63] + i;
+        s = (s + buf[i & 63]) % 65521;
+    }
+    return s;
+}
+"""
+
+# Three machines handshaking every few cycles: the general scheduler.
+# main blocks on the completion channel, so the simulation runs until the
+# whole pipeline drains rather than ending when main's FSMD finishes.
+RENDEZVOUS = """
+chan<int> c;
+chan<int> done;
+
+process void producer() {
+    int i;
+    for (i = 0; i < %d; i = i + 1) {
+        send(c, i);
+    }
+}
+
+process void consumer() {
+    int i;
+    int total = 0;
+    for (i = 0; i < %d; i = i + 1) {
+        total = (total + recv(c)) %% 9973;
+    }
+    send(done, total);
+}
+
+int main() {
+    return recv(done);
+}
+"""
+
+FAST_FLOWS = ("c2verilog", "cyber", "bachc", "handelc")
+
+
+def _timed(design, backend, args):
+    """Best-of-two timed run; returns (result, seconds).  The first
+    compiled run also pays one-time specialization, which the plan cache
+    then amortizes — exactly the campaign-loop steady state."""
+    best = None
+    result = None
+    for _ in range(2):
+        start = time.perf_counter()
+        result = design.run(args=args, sim_backend=backend)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def _identical(interp, compiled, label):
+    assert interp.observable() == compiled.observable(), (
+        f"{label}: backends disagree on observables"
+    )
+    assert interp.cycles == compiled.cycles, (
+        f"{label}: backends disagree on cycle count"
+    )
+
+
+def _speedup_table(n, items):
+    """rows + per-label speedups for (label, source, flow, args) items."""
+    rows = []
+    speedups = {}
+    for label, source, flow, args in items:
+        design = compile_flow(source, flow=flow)
+        interp, interp_s = _timed(design, "interp", args)
+        compiled, compiled_s = _timed(design, "compiled", args)
+        _identical(interp, compiled, f"{label}/{flow}")
+        speedup = interp_s / compiled_s if compiled_s > 0 else float("inf")
+        speedups[label] = speedup
+        rows.append([
+            label, flow, interp.cycles,
+            f"{interp_s * 1e3:.1f}", f"{compiled_s * 1e3:.1f}",
+            f"{interp.cycles / interp_s / 1e3:.0f}",
+            f"{interp.cycles / compiled_s / 1e3:.0f}",
+            f"{speedup:.1f}x",
+        ])
+    return rows, speedups
+
+
+def _items(n):
+    rendezvous = RENDEZVOUS % (n // 8, n // 8)
+    return (
+        [(f"loop/{flow}", KERNEL, flow, (n,)) for flow in FAST_FLOWS]
+        + [("memory/c2verilog", MEM_KERNEL, "c2verilog", (n,))]
+        + [("rendezvous/specc", rendezvous, "specc", ())]
+    )
+
+
+def _render(rows, title):
+    return format_table(
+        ["kernel", "flow", "cycles", "interp ms", "compiled ms",
+         "interp kc/s", "compiled kc/s", "speedup"],
+        rows,
+        title=title,
+    )
+
+
+def _assert_floors(speedups, floor):
+    for label, speedup in speedups.items():
+        wanted = 1.0 if label.startswith("rendezvous") else floor
+        assert speedup >= wanted, (
+            f"{label}: {speedup:.2f}x is below the {wanted:.0f}x floor"
+        )
+
+
+def _fuzz_throughput(tmp_path, backend):
+    config = CampaignConfig(
+        flows=["c2verilog"], seeds=24, jobs=1, reduce=False, mutations=1,
+        corpus_dir=tmp_path / f"corpus-{backend}", sim_backend=backend,
+    )
+    report = run_campaign(config)
+    assert not report.divergences, (
+        f"fuzz campaign under {backend} found divergences — backend bug"
+    )
+    return report.cells_run / report.elapsed_s
+
+
+def test_sim_backend_speedup(benchmark, save_report, tmp_path):
+    rows, speedups = benchmark.pedantic(
+        _speedup_table, args=(LONG_N, _items(LONG_N)), rounds=1, iterations=1
+    )
+    interp_cps = _fuzz_throughput(tmp_path, "interp")
+    compiled_cps = _fuzz_throughput(tmp_path, "compiled")
+    text = _render(
+        rows,
+        f"E15: compiled FSMD backend speedup (n={LONG_N}, floor "
+        f"{LONG_FLOOR:.0f}x; fuzz cells/s {interp_cps:.0f} interp -> "
+        f"{compiled_cps:.0f} compiled)",
+    )
+    save_report("e15_sim_backends", text)
+    _assert_floors(speedups, LONG_FLOOR)
+
+
+def test_sim_backend_speedup_quick(benchmark, save_report):
+    """CI-sized variant: short kernels, a 2x floor.  Uploaded as the PR
+    speedup-table artifact by the bench-sim-backends workflow job."""
+    rows, speedups = benchmark.pedantic(
+        _speedup_table, args=(QUICK_N, _items(QUICK_N)), rounds=1,
+        iterations=1,
+    )
+    text = _render(
+        rows,
+        f"E15 (quick): compiled FSMD backend speedup (n={QUICK_N}, "
+        f"floor {QUICK_FLOOR:.0f}x)",
+    )
+    save_report("e15_sim_backends_quick", text)
+    _assert_floors(speedups, QUICK_FLOOR)
+
+
+def test_profiler_overhead_is_bounded():
+    """Profiling both backends keeps results identical and costs at most
+    a few x; the histograms it returns match cycle counts exactly."""
+    design = compile_flow(KERNEL, flow="c2verilog")
+    plain = design.run(args=(QUICK_N,), sim_backend="compiled")
+    profile = SimProfile()
+    profiled = design.run(args=(QUICK_N,), sim_backend="compiled",
+                          sim_profile=profile)
+    assert plain.observable() == profiled.observable()
+    assert profile.cycles == plain.cycles
+    total_visits = sum(
+        count
+        for states in profile.state_visits.values()
+        for count in states.values()
+    )
+    assert total_visits == profile.cycles

@@ -2,8 +2,10 @@
 
 Commands
 --------
-``run FILE --flow KEY [--args N,N,...]``
-    Compile and simulate a program; prints value, cycles, cost.
+``run FILE --flow KEY [--args N,N,...] [--sim-backend B] [--profile]``
+    Compile and simulate a program; prints value, cycles, cost, and
+    (with ``--profile``) the simulation profile.  ``--sim-backend
+    compiled`` specializes FSMD artifacts to closures before running.
 ``compile FILE --flow KEY [-o OUT.v]``
     Compile and emit Verilog.
 ``matrix FILE [--args ...] [--lint] [--jobs N] [--cache-dir D | --no-cache]``
@@ -65,7 +67,13 @@ def cmd_run(options: argparse.Namespace) -> int:
     source = _read(options.file)
     args = _parse_args_list(options.args)
     design = compile_flow(source, flow=options.flow, function=options.function)
-    result = design.run(args=args)
+    profile = None
+    if options.profile:
+        from .sim import SimProfile
+
+        profile = SimProfile()
+    result = design.run(args=args, sim_backend=options.sim_backend,
+                        sim_profile=profile)
     cost = design.cost()
     print(f"value      : {result.value}")
     if cost.clock_ns > 0:
@@ -80,6 +88,9 @@ def cmd_run(options: argparse.Namespace) -> int:
         print(f"globals    : {result.globals}")
     if result.channel_log:
         print(f"channels   : {result.channel_log}")
+    if profile is not None and profile.cycles:
+        print()
+        print(profile.render())
     return 0
 
 
@@ -199,7 +210,8 @@ def cmd_matrix(options: argparse.Namespace) -> int:
                 selected.remove(key)
 
     tasks = file_tasks(source, name=options.file, flows=selected,
-                       function=options.function, args=args)
+                       function=options.function, args=args,
+                       sim_backend=options.sim_backend)
     results = engine.run_cells(tasks)
     print(format_cell_results(results + lint_cells, show_workload=False))
     _print_summary(results, engine)
@@ -230,7 +242,8 @@ def cmd_sweep(options: argparse.Namespace) -> int:
             return 2
 
     engine = _make_engine(options)
-    tasks = suite_tasks(workloads=workloads, flows=flows)
+    tasks = suite_tasks(workloads=workloads, flows=flows,
+                        sim_backend=options.sim_backend)
     results = engine.run_cells(tasks)
     print(format_cell_results(
         results,
@@ -270,6 +283,7 @@ def cmd_fuzz(options: argparse.Namespace) -> int:
         timeout_s=options.timeout or 20.0,
         cache_dir=cache_dir,
         corpus_dir=Path(options.corpus_dir),
+        sim_backend=options.sim_backend,
     )
     report = run_campaign(config)
     print("\n".join(report.summary_lines()))
@@ -336,6 +350,13 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=sorted(REGISTRY))
     run_parser.add_argument("--function", default="main")
     run_parser.add_argument("--args", help="comma-separated integers")
+    run_parser.add_argument("--sim-backend", default="interp",
+                            choices=("interp", "compiled"),
+                            help="FSMD simulation engine (default interp)")
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="print the simulation profile (cycles/sec, hot states)",
+    )
     run_parser.set_defaults(handler=cmd_run)
 
     compile_parser = sub.add_parser("compile", help="compile to Verilog")
@@ -356,6 +377,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the content-addressed artifact cache")
         p.add_argument("--timeout", type=float,
                        help="per-cell wall-clock deadline in seconds (default 60)")
+        p.add_argument("--sim-backend", default="interp",
+                       choices=("interp", "compiled"),
+                       help="FSMD simulation engine for every cell"
+                            " (default interp; part of the cache key)")
 
     matrix_parser = sub.add_parser("matrix", help="all flows on one program")
     matrix_parser.add_argument("file")

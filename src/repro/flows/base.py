@@ -160,8 +160,15 @@ class CompiledDesign(abc.ABC):
         args: Sequence[int] = (),
         process_args: Optional[Dict[str, Sequence[int]]] = None,
         max_cycles: int = 2_000_000,
+        sim_backend: str = "interp",
+        sim_profile=None,
     ) -> FlowResult:
-        """Simulate the hardware on concrete inputs."""
+        """Simulate the hardware on concrete inputs.
+
+        ``sim_backend`` selects the FSMD simulation engine ("interp" or
+        "compiled"); artifacts without an FSMD (combinational netlists,
+        dataflow) have a single engine and ignore it.  ``sim_profile``
+        takes a :class:`repro.sim.SimProfile` to fill in."""
 
     @abc.abstractmethod
     def cost(self, tech: Technology = DEFAULT_TECH) -> DesignCost:

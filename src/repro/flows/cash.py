@@ -99,7 +99,11 @@ class CashDesign(CompiledDesign):
         args: Sequence[int] = (),
         process_args=None,
         max_cycles: int = 2_000_000,
+        sim_backend: str = "interp",
+        sim_profile=None,
     ) -> FlowResult:
+        # Token dataflow has one engine; sim_backend/sim_profile apply to
+        # FSMD artifacts and are accepted for interface parity.
         register_init, memory_init = self._initial_state()
         sim = AsyncSimulator(
             self.cdfg, args=args, register_init=register_init,

@@ -351,7 +351,10 @@ class ConesDesign(CompiledDesign):
         return "combinational"
 
     def run(self, args: Sequence[int] = (), process_args=None,
-            max_cycles: int = 2_000_000) -> FlowResult:
+            max_cycles: int = 2_000_000, sim_backend: str = "interp",
+            sim_profile=None) -> FlowResult:
+        # Combinational evaluation has one engine; sim_backend/sim_profile
+        # apply to FSMD artifacts and are accepted for interface parity.
         result = evaluate(self.netlist, args=args)
         critical = self.netlist.critical_path_ns(self.tech)
         return FlowResult(

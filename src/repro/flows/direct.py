@@ -36,9 +36,13 @@ class DirectDesign(CompiledDesign):
         args: Sequence[int] = (),
         process_args: Optional[Dict[str, Sequence[int]]] = None,
         max_cycles: int = 2_000_000,
+        sim_backend: str = "interp",
+        sim_profile=None,
     ) -> FlowResult:
         sim = simulate(
-            self.system, args=args, process_args=process_args, max_cycles=max_cycles
+            self.system, args=args, process_args=process_args,
+            max_cycles=max_cycles, sim_backend=sim_backend,
+            profile=sim_profile,
         )
         cost = self.cost(self.tech)
         return FlowResult(

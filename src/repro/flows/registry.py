@@ -78,11 +78,16 @@ def run_flow(
     function: str = "main",
     process_args=None,
     max_cycles: int = 2_000_000,
+    sim_backend: str = "interp",
+    sim_profile=None,
     **options,
 ) -> FlowResult:
     """Compile and simulate in one call."""
     design = compile_flow(source, flow=flow, function=function, **options)
-    return design.run(args=args, process_args=process_args, max_cycles=max_cycles)
+    return design.run(
+        args=args, process_args=process_args, max_cycles=max_cycles,
+        sim_backend=sim_backend, sim_profile=sim_profile,
+    )
 
 
 # Structural and CDFG-level lint rules per flow, beyond the feature table

@@ -83,6 +83,7 @@ class CampaignConfig:
     cache_dir: Optional[Path] = None
     corpus_dir: Path = Path("tests") / "corpus"
     batch_size: int = 200                   # cells per engine dispatch
+    sim_backend: str = "interp"             # FSMD engine for every cell
 
 
 @dataclass
@@ -170,7 +171,7 @@ def plan_items(config: CampaignConfig) -> List[_WorkItem]:
     return items
 
 
-def _tasks_for(item: _WorkItem) -> List[CellTask]:
+def _tasks_for(item: _WorkItem, sim_backend: str = "interp") -> List[CellTask]:
     program = item.program
     tasks = [
         CellTask(
@@ -178,6 +179,7 @@ def _tasks_for(item: _WorkItem) -> List[CellTask]:
             source=program.source,
             flow=program.flow,
             args=program.args,
+            sim_backend=sim_backend,
         )
     ]
     for mutant in item.mutant_list:
@@ -187,6 +189,7 @@ def _tasks_for(item: _WorkItem) -> List[CellTask]:
                 source=mutant.source,
                 flow=program.flow,
                 args=program.args,
+                sim_backend=sim_backend,
             )
         )
     return tasks
@@ -313,7 +316,9 @@ def _classify_item(
 
 # -- reduction predicates -----------------------------------------------------
 
-def reduction_predicate(divergence: Divergence, engine: MatrixEngine):
+def reduction_predicate(
+    divergence: Divergence, engine: MatrixEngine, sim_backend: str = "interp"
+):
     """A predicate asking "does this candidate still fail with the same
     coarse signature?" — the contract :func:`reduce_source` shrinks under.
     Matches on (flow, kind, rule) only; the program hash is minted after
@@ -323,7 +328,7 @@ def reduction_predicate(divergence: Divergence, engine: MatrixEngine):
     def run(source: str):
         task = CellTask(
             workload="reduce", source=source, flow=flow,
-            args=divergence.args,
+            args=divergence.args, sim_backend=sim_backend,
         )
         return engine.run_cells([task])[0]
 
@@ -354,12 +359,14 @@ def reduction_predicate(divergence: Divergence, engine: MatrixEngine):
 
 
 def reduce_divergence(
-    divergence: Divergence, engine: Optional[MatrixEngine] = None
+    divergence: Divergence,
+    engine: Optional[MatrixEngine] = None,
+    sim_backend: str = "interp",
 ) -> Divergence:
     """Attach a 1-minimal reproducer to ``divergence`` (no-op for kinds
     the reducer cannot re-judge on a single program)."""
     engine = engine or MatrixEngine(jobs=1, cache=None)
-    predicate = reduction_predicate(divergence, engine)
+    predicate = reduction_predicate(divergence, engine, sim_backend=sim_backend)
     if predicate is None:
         return divergence
     outcome = reduce_source(divergence.source, predicate)
@@ -375,6 +382,7 @@ def reduce_divergence(
         task = CellTask(
             workload="pin", source=outcome.reduced,
             flow=divergence.flow, args=divergence.args,
+            sim_backend=sim_backend,
         )
         result = engine.run_cells([task])[0]
         divergence.extra["expect"] = {
@@ -412,7 +420,7 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
         tasks: List[CellTask] = []
         spans: List[Tuple[_WorkItem, int, int]] = []
         for entry in batch_items:
-            entry_tasks = _tasks_for(entry)
+            entry_tasks = _tasks_for(entry, config.sim_backend)
             spans.append((entry, len(tasks), len(tasks) + len(entry_tasks)))
             tasks.extend(entry_tasks)
         results = engine.run_cells(tasks)
@@ -447,7 +455,8 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
     )
     for divergence in unique.values():
         if config.reduce:
-            reduce_divergence(divergence, reducer_engine)
+            reduce_divergence(divergence, reducer_engine,
+                              sim_backend=config.sim_backend)
         report.divergences.append(divergence)
 
     corpus = Corpus(config.corpus_dir)

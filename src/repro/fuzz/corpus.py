@@ -145,18 +145,22 @@ class Corpus:
 
 # -- replay -------------------------------------------------------------------
 
-def _flow_result(engine: MatrixEngine, entry: CorpusEntry, source: str):
+def _flow_result(engine: MatrixEngine, entry: CorpusEntry, source: str,
+                 sim_backend: str = "interp"):
     task = CellTask(
         workload=f"corpus-{entry.program_hash}",
         source=source,
         flow=entry.flow,
         args=tuple(entry.args),
+        sim_backend=sim_backend,
     )
     return engine.run_cells([task])[0]
 
 
 def replay_entry(
-    entry: CorpusEntry, engine: Optional[MatrixEngine] = None
+    entry: CorpusEntry,
+    engine: Optional[MatrixEngine] = None,
+    sim_backend: str = "interp",
 ) -> Tuple[bool, str]:
     """Re-run one corpus entry's recorded check.
 
@@ -167,8 +171,8 @@ def replay_entry(
     engine = engine or MatrixEngine(jobs=1, cache=None)
 
     if entry.kind == KIND_METAMORPHIC:
-        original = _flow_result(engine, entry, entry.original_source)
-        mutant = _flow_result(engine, entry, entry.source)
+        original = _flow_result(engine, entry, entry.original_source, sim_backend)
+        mutant = _flow_result(engine, entry, entry.source, sim_backend)
         if REJECTED in (original.verdict, mutant.verdict):
             return False, (
                 f"flow now rejects one side (original={original.verdict}, "
@@ -186,7 +190,7 @@ def replay_entry(
 
         report = lint(entry.source, flow=entry.flow)
         clean = report.is_clean(entry.flow)
-        result = _flow_result(engine, entry, entry.source)
+        result = _flow_result(engine, entry, entry.source, sim_backend)
         compiled = result.verdict != REJECTED
         if clean != compiled:
             return True, (
@@ -197,7 +201,7 @@ def replay_entry(
 
     # Engine-verdict kinds (mismatch / error / timeout): the pinned verdict
     # must persist.
-    result = _flow_result(engine, entry, entry.source)
+    result = _flow_result(engine, entry, entry.source, sim_backend)
     expected_verdict = str(entry.expect.get("verdict", entry.kind))
     if result.verdict != expected_verdict:
         return False, (

@@ -56,6 +56,10 @@ class Done:
 Transition = Union[NextState, CondNext, Done]
 
 
+# Sentinel marking a State whose channel_op has not been memoized yet.
+_CHANNEL_UNCACHED = object()
+
+
 @dataclass
 class State:
     id: int
@@ -67,12 +71,25 @@ class State:
     latches: Dict[Symbol, Operand] = field(default_factory=dict)
     transition: Optional[Transition] = None
     label: str = ""
+    # Memoized channel lookup.  Frontends mutate ``ops`` while building a
+    # state (Handel-C lowers decision ops after construction, Ocapi appends
+    # through its structural API), but states are frozen once simulation or
+    # emission starts — the first channel_op() call then caches, so the
+    # simulator's hot loop does not rescan the op list every cycle.
+    _channel_op: object = field(
+        default=_CHANNEL_UNCACHED, init=False, repr=False, compare=False
+    )
 
     def channel_op(self) -> Optional[Operation]:
-        for op in self.ops:
-            if op.kind in (OpKind.SEND, OpKind.RECV):
-                return op
-        return None
+        cached = self._channel_op
+        if cached is _CHANNEL_UNCACHED:
+            cached = None
+            for op in self.ops:
+                if op.kind in (OpKind.SEND, OpKind.RECV):
+                    cached = op
+                    break
+            self._channel_op = cached
+        return cached
 
 
 @dataclass

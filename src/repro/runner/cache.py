@@ -61,6 +61,7 @@ def cell_key(task: CellTask, salt: str = "") -> str:
             "function": task.function,
             "args": list(task.args),
             "options": [[k, repr(v)] for k, v in task.options],
+            "sim_backend": task.sim_backend,
             "salt": salt,
         },
         sort_keys=True,

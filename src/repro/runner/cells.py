@@ -65,6 +65,10 @@ class CellTask:
     # Flow compile() keyword options as a sorted tuple of pairs so the task
     # is hashable and its cache key is order-independent.
     options: Tuple[Tuple[str, object], ...] = ()
+    # FSMD simulation engine ("interp" or "compiled").  Part of the cache
+    # key: both backends must produce identical results, and keeping their
+    # artifacts distinct is what lets a sweep prove it.
+    sim_backend: str = "interp"
 
     def options_dict(self) -> Dict[str, object]:
         return dict(self.options)
@@ -82,6 +86,7 @@ class CellResult:
     flow: str
     function: str = "main"
     args: Tuple[int, ...] = ()
+    sim_backend: str = "interp"
     verdict: str = ERROR
     value: Optional[int] = None
     cycles: int = 0

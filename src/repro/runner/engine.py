@@ -97,12 +97,14 @@ def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
         function=payload.get("function", "main"),
         args=tuple(payload.get("args", ())),
         options=tuple((k, v) for k, v in payload.get("options", ())),
+        sim_backend=str(payload.get("sim_backend", "interp")),
     )
     result = CellResult(
         workload=task.workload,
         flow=task.flow,
         function=task.function,
         args=task.args,
+        sim_backend=task.sim_backend,
         cache_key=str(payload.get("cache_key", "")),
     )
     expected = payload.get("expected")
@@ -115,6 +117,7 @@ def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
             run = design.run(
                 args=task.args,
                 max_cycles=int(payload.get("max_cycles", DEFAULT_MAX_CYCLES)),
+                sim_backend=task.sim_backend,
             )
             cost = design.cost()
             try:
@@ -164,6 +167,7 @@ def _crash_result(payload: Dict[str, object]) -> Dict[str, object]:
         flow=str(payload["flow"]),
         function=str(payload.get("function", "main")),
         args=tuple(payload.get("args", ())),
+        sim_backend=str(payload.get("sim_backend", "interp")),
         verdict=ERROR,
         diagnostics=["worker process died while executing this cell"],
         cache_key=str(payload.get("cache_key", "")),
@@ -233,6 +237,7 @@ class MatrixEngine:
             "function": task.function,
             "args": list(task.args),
             "options": [list(pair) for pair in task.options],
+            "sim_backend": task.sim_backend,
             "expected": self.golden_observable(task),
             "timeout_s": self.timeout_s,
             "max_cycles": self.max_cycles,
@@ -324,11 +329,13 @@ class MatrixEngine:
         workloads=None,
         flows: Optional[Sequence[str]] = None,
         function: str = "main",
+        sim_backend: str = "interp",
     ) -> List[CellResult]:
         """The full workload × flow matrix (defaults: the whole suite
         against every compilable flow)."""
         return self.run_cells(
-            suite_tasks(workloads=workloads, flows=flows, function=function)
+            suite_tasks(workloads=workloads, flows=flows, function=function,
+                        sim_backend=sim_backend)
         )
 
 
@@ -347,6 +354,7 @@ def suite_tasks(
     workloads=None,
     flows: Optional[Sequence[str]] = None,
     function: str = "main",
+    sim_backend: str = "interp",
 ) -> List[CellTask]:
     """CellTasks for a workload × flow cross product."""
     from ..flows import COMPILABLE
@@ -361,6 +369,7 @@ def suite_tasks(
             flow=key,
             function=function,
             args=tuple(w.args),
+            sim_backend=sim_backend,
         )
         for w in selected
         for key in flow_keys
@@ -373,6 +382,7 @@ def file_tasks(
     flows: Optional[Sequence[str]] = None,
     function: str = "main",
     args: Sequence[int] = (),
+    sim_backend: str = "interp",
 ) -> List[CellTask]:
     """CellTasks running one program through many flows (the CLI matrix)."""
     from ..flows import COMPILABLE
@@ -380,6 +390,6 @@ def file_tasks(
     flow_keys = list(flows) if flows is not None else list(COMPILABLE)
     return [
         CellTask(workload=name, source=source, flow=key,
-                 function=function, args=tuple(args))
+                 function=function, args=tuple(args), sim_backend=sim_backend)
         for key in flow_keys
     ]

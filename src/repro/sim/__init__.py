@@ -1,6 +1,65 @@
 """Hardware simulators: cycle-accurate FSMD systems, combinational
-netlists, and asynchronous token dataflow."""
+netlists, and asynchronous token dataflow.
 
-from .fsmd_sim import FSMDSimulator, SimResult, SimulationError, simulate
+FSMD systems have two interchangeable backends:
 
-__all__ = ["FSMDSimulator", "SimResult", "SimulationError", "simulate"]
+* ``interp`` — the reference interpreter (:mod:`fsmd_sim`): walks the op
+  lists every cycle.  Authoritative, and the only backend that reports
+  "read before being computed" for malformed machines.
+* ``compiled`` — closure-compiled (:mod:`compiled`): specialises the
+  system once into per-state Python closures with slot-resolved operands,
+  then runs the same three-phase cycle.  Bit-identical results on every
+  well-formed system, at a multiple of the interpreter's cycles/sec.
+
+Select one with ``simulate(..., sim_backend="compiled")``; pass a
+:class:`SimProfile` to either to get cycles/sec and the per-state visit
+histogram.
+"""
+
+from typing import Dict, Optional, Sequence
+
+from ..rtl.fsmd import FSMDSystem
+from .compiled import SystemPlan, compile_system, simulate_compiled
+from .fsmd_sim import FSMDSimulator, SimResult, SimulationError
+from .fsmd_sim import simulate as simulate_interp
+from .profile import SimProfile
+
+BACKENDS = ("interp", "compiled")
+
+
+def simulate(
+    system: FSMDSystem,
+    args: Sequence[int] = (),
+    max_cycles: int = 2_000_000,
+    process_args: Optional[Dict[str, Sequence[int]]] = None,
+    sim_backend: str = "interp",
+    profile: Optional[SimProfile] = None,
+) -> SimResult:
+    """Simulate ``system`` with the selected backend."""
+    if sim_backend == "interp":
+        return simulate_interp(
+            system, args=args, max_cycles=max_cycles,
+            process_args=process_args, profile=profile,
+        )
+    if sim_backend == "compiled":
+        return simulate_compiled(
+            system, args=args, max_cycles=max_cycles,
+            process_args=process_args, profile=profile,
+        )
+    raise ValueError(
+        f"unknown sim backend {sim_backend!r} (expected one of {BACKENDS})"
+    )
+
+
+__all__ = [
+    "BACKENDS",
+    "FSMDSimulator",
+    "SimProfile",
+    "SimResult",
+    "SimulationError",
+    "SystemPlan",
+    "compile_system",
+    "simulate",
+    "simulate_compiled",
+    "simulate_interp",
+]

@@ -1,0 +1,1043 @@
+"""Closure-compiled FSMD simulation backend.
+
+The interpreter in :mod:`fsmd_sim` pays for its generality every cycle:
+each :class:`Operation` goes through ``OpKind`` dispatch, every operand
+read hashes a ``Symbol`` or ``VReg`` into a dict, arithmetic re-derives
+its width from the destination type, and rendezvous-dependent values are
+signalled by raising ``_ValueNotReady``.  None of that depends on the
+cycle being simulated — only on the state — so this backend specialises
+each :class:`FSMDSystem` **once**:
+
+* every scalar register, global, and cross-state wire gets a fixed list
+  slot, assigned at compile time (``r[i]``, ``g[i]``, ``w[i]``);
+* each state's op list, latch map, and transition tree are lowered to
+  Python source with the two's-complement wrap inlined as mask
+  arithmetic, then ``exec``-compiled into per-state closures;
+* when the system is a single machine with no channel operations, a fast
+  path drops every piece of rendezvous bookkeeping: the cycle loop is
+  ``state = fns[state]()``.
+
+Multi-machine systems keep the interpreter's exact three-phase cycle
+(evaluate combinationally, match rendezvous, commit in machine order),
+with each phase a pre-compiled closure per state, so channel logs, stall
+accounting, same-cycle global-write races, and deadlock reports are
+bit-identical to the interpreter.
+
+The compiled plan is cached on the system object, so repeated ``run``
+calls (sweeps over argument values, fuzz campaigns) pay for compilation
+once.
+
+The interpreter remains authoritative for *malformed* machines: a state
+that reads a wire its block never produced raises "read before being
+computed" there, while the compiled code reads a stale slot.  Every flow
+in the registry produces well-formed machines (defs precede uses), and
+the backend-equivalence suite plus the fuzz oracle hold the two backends
+to identical results on all of them.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..interp.machine import _as_int_type, wrap
+from ..lang.errors import InterpError
+from ..lang.symtab import Symbol, SymbolKind
+from ..lang.types import ArrayType, Type
+from ..ir.ops import Const, Operand, Operation, OpKind, VReg, VarRead
+from ..rtl.fsmd import CondNext, Done, FSMD, FSMDSystem, NextState, State
+from .fsmd_sim import SimResult, SimulationError
+from .profile import SimProfile
+
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+_WRAPPING = {"+", "-", "*", "&", "|", "^"}
+
+
+def _state_label(state: State) -> str:
+    return state.label or f"S{state.id}"
+
+
+class _NeverDefined(Exception):
+    """Compile-time marker: an operand reads a vreg no state produces.
+
+    The interpreter raises "read before being computed" when such an op
+    executes; the compiler emits that exact raise at the same spot."""
+
+    def __init__(self, vreg: VReg):
+        super().__init__(vreg)
+        self.vreg = vreg
+
+
+class _Emitter:
+    """Indented line buffer for one generated module."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _Ctx:
+    """Per-machine mutable runtime state shared with the generated code."""
+
+    __slots__ = ("state", "done", "result", "finish")
+
+    def __init__(self, entry: int):
+        self.state = entry
+        self.done = False
+        self.result: Optional[int] = None
+        self.finish: Optional[int] = None
+
+
+class _MachinePlan:
+    """The compiled form of one FSMD: generated source + slot layout."""
+
+    def __init__(self, fsmd: FSMD):
+        self.name = fsmd.name
+        self.fsmd = fsmd
+        self.entry = fsmd.entry
+        self.source = ""
+        self.factory: Optional[Callable] = None
+        # (slot, symbol) per scalar parameter, in declaration order.
+        self.param_slots: List[Tuple[int, Symbol]] = []
+        self.n_regs = 0
+        self.n_wires = 0
+        # ("local" | "global", array symbol) per memory index.
+        self.mem_spec: List[Tuple[str, Symbol]] = []
+        # Per state: None, or ("send" | "recv", channel symbol).
+        self.chan: List[Optional[Tuple[str, Symbol]]] = []
+        self.labels: List[str] = [_state_label(s) for s in fsmd.states]
+
+
+class _MachineRuntime:
+    """One machine's closures + context for a single ``run``."""
+
+    __slots__ = ("name", "ctx", "phase1", "phase3", "sends", "recvs",
+                 "chan", "labels")
+
+    def __init__(self, plan: _MachinePlan, factory_result, ctx: _Ctx):
+        self.name = plan.name
+        self.ctx = ctx
+        self.phase1, self.phase3, self.sends, self.recvs = factory_result
+        self.chan = plan.chan
+        self.labels = plan.labels
+
+
+class _MachineCompiler:
+    """Lowers one FSMD into Python source for its per-state closures."""
+
+    def __init__(
+        self,
+        fsmd: FSMD,
+        global_slots: Dict[Symbol, int],
+        fast: bool,
+    ):
+        self.fsmd = fsmd
+        self.fast = fast
+        self.global_slots = global_slots        # shared, system-wide
+        self.reg_slots: Dict[Symbol, int] = {}
+        self.wire_slots: Dict[VReg, int] = {}
+        self.mem_index: Dict[Symbol, int] = {}
+        self.mem_spec: List[Tuple[str, Symbol]] = []
+        self.plan = _MachinePlan(fsmd)
+        self._tmp = 0
+        # The state's rendezvous op (first SEND/RECV), if any; every other
+        # channel op in the state is inert, exactly as in the interpreter.
+        self.chan_op: Dict[int, Optional[Operation]] = {
+            s.id: s.channel_op() for s in fsmd.states
+        }
+        self.defined: Set[VReg] = set()
+        for state in fsmd.states:
+            channel = self.chan_op[state.id]
+            for op in state.ops:
+                if op.kind in (OpKind.SEND, OpKind.RECV):
+                    if op is channel and op.kind is OpKind.RECV:
+                        assert op.dest is not None
+                        self.defined.add(op.dest)
+                    continue
+                if op.dest is not None:
+                    self.defined.add(op.dest)
+
+    # -- slot layout --------------------------------------------------------
+
+    def _rslot(self, symbol: Symbol) -> int:
+        slot = self.reg_slots.get(symbol)
+        if slot is None:
+            slot = len(self.reg_slots)
+            self.reg_slots[symbol] = slot
+        return slot
+
+    def _gslot(self, symbol: Symbol) -> int:
+        slot = self.global_slots.get(symbol)
+        if slot is None:
+            slot = len(self.global_slots)
+            self.global_slots[symbol] = slot
+        return slot
+
+    def _wslot(self, vreg: VReg) -> int:
+        slot = self.wire_slots.get(vreg)
+        if slot is None:
+            slot = len(self.wire_slots)
+            self.wire_slots[vreg] = slot
+        return slot
+
+    def _mslot(self, array: Symbol) -> int:
+        index = self.mem_index.get(array)
+        if index is None:
+            index = len(self.mem_spec)
+            self.mem_index[array] = index
+            kind = "global" if array.kind is SymbolKind.GLOBAL else "local"
+            self.mem_spec.append((kind, array))
+        return index
+
+    @staticmethod
+    def _vreg_reads(operands: Sequence[Operand]) -> List[VReg]:
+        return [o for o in operands if isinstance(o, VReg)]
+
+    def _transition_reads(self, state: State) -> List[VReg]:
+        reads: List[VReg] = []
+
+        def walk(tr) -> None:
+            if isinstance(tr, CondNext):
+                if isinstance(tr.cond, VReg):
+                    reads.append(tr.cond)
+                walk(tr.if_true)
+                walk(tr.if_false)
+            elif isinstance(tr, Done) and isinstance(tr.value, VReg):
+                reads.append(tr.value)
+
+        walk(state.transition)
+        for value in state.latches.values():
+            if isinstance(value, VReg):
+                reads.append(value)
+        return reads
+
+    def assign_slots(self) -> None:
+        """Decide which vregs live in the wire array ``w``.
+
+        A vreg needs a slot when some reader cannot see the producing
+        function's local: a read in a different state, the rendezvous
+        scheduler reading a send operand or writing a recv destination,
+        or (multi-machine mode) the commit closure of a non-offering
+        state, which runs in phase 3 while the ops ran in phase 1."""
+        for state in self.fsmd.states:
+            channel = self.chan_op[state.id]
+            local: Set[VReg] = set()
+            for op in state.ops:
+                if op.kind in (OpKind.SEND, OpKind.RECV):
+                    if op is channel:
+                        if op.kind is OpKind.RECV:
+                            assert op.dest is not None
+                            self._wslot(op.dest)
+                            local.add(op.dest)
+                        elif isinstance(op.operands[0], VReg):
+                            self._wslot(op.operands[0])
+                    continue
+                for vreg in self._vreg_reads(op.operands):
+                    if vreg not in local and vreg in self.defined:
+                        self._wslot(vreg)
+                if op.dest is not None:
+                    local.add(op.dest)
+            commit_split = not self.fast and channel is None
+            for vreg in self._transition_reads(state):
+                if (commit_split or vreg not in local) and vreg in self.defined:
+                    self._wslot(vreg)
+        # Preassign register slots in a stable order: declared registers,
+        # then parameters (reads of anything else default to fresh slots
+        # initialised to 0, matching the interpreter's ``.get(sym, 0)``).
+        for symbol in self.fsmd.registers:
+            if symbol.kind is not SymbolKind.GLOBAL:
+                self._rslot(symbol)
+        for symbol in self.fsmd.params:
+            if not isinstance(symbol.type, ArrayType):
+                self.plan.param_slots.append((self._rslot(symbol), symbol))
+
+    # -- expressions --------------------------------------------------------
+
+    def _expr(self, operand: Operand, local: Set[VReg]) -> str:
+        if isinstance(operand, Const):
+            return repr(operand.value)
+        if isinstance(operand, VarRead):
+            symbol = operand.var
+            if symbol.kind is SymbolKind.GLOBAL:
+                return f"g[{self._gslot(symbol)}]"
+            return f"r[{self._rslot(symbol)}]"
+        if operand in local:
+            return f"v{operand.id}"
+        if operand in self.defined:
+            return f"w[{self._wslot(operand)}]"
+        raise _NeverDefined(operand)
+
+    def _wrap_expr(self, expr: str, value_type: Type) -> str:
+        rt = _as_int_type(value_type)       # may raise InterpError
+        mask = (1 << rt.width) - 1
+        if rt.signed:
+            half = 1 << (rt.width - 1)
+            return f"((({expr}) + {half}) & {mask}) - {half}"
+        return f"({expr}) & {mask}"
+
+    def _temp(self, prefix: str = "_t") -> str:
+        self._tmp += 1
+        return f"{prefix}{self._tmp}"
+
+    def _raise_read(self, em: _Emitter, vreg: VReg, where: str = "") -> None:
+        message = f"{self.fsmd.name}: {vreg} read before being computed{where}"
+        em.line(f"raise SimulationError({message!r})")
+
+    # -- op lowering --------------------------------------------------------
+
+    def _assign_dest(self, em: _Emitter, op: Operation, rhs: str,
+                     local: Set[VReg]) -> None:
+        assert op.dest is not None
+        name = f"v{op.dest.id}"
+        em.line(f"{name} = {rhs}")
+        local.add(op.dest)
+        slot = self.wire_slots.get(op.dest)
+        if slot is not None:
+            em.line(f"w[{slot}] = {name}")
+
+    def _emit_op(self, em: _Emitter, op: Operation, local: Set[VReg],
+                 store_mode: str) -> None:
+        """Lower one non-channel op.  ``store_mode``:
+
+        * ``"temps"`` — buffer stores in per-op temps, applied by
+          :meth:`_apply_stores` after the op list (fast / post closures);
+        * ``"list"``  — append stores to the machine's shared ``_st``
+          buffer, applied by the commit closure (split eval closures);
+        * ``"check"`` — bounds-check only, no store (pre closures: the
+          interpreter discards phase-A stores of offering states)."""
+        kind = op.kind
+        try:
+            if kind is OpKind.BINARY:
+                self._emit_binary(em, op, local)
+            elif kind is OpKind.UNARY:
+                self._emit_unary(em, op, local)
+            elif kind is OpKind.CAST:
+                assert op.dest is not None
+                rhs = self._wrap_expr(
+                    self._expr(op.operands[0], local), op.dest.type
+                )
+                self._assign_dest(em, op, rhs, local)
+            elif kind is OpKind.SELECT:
+                assert op.dest is not None
+                cond = self._expr(op.operands[0], local)
+                if_true = self._expr(op.operands[1], local)
+                if_false = self._expr(op.operands[2], local)
+                chosen = f"({if_true}) if ({cond}) else ({if_false})"
+                self._assign_dest(
+                    em, op, self._wrap_expr(chosen, op.dest.type), local
+                )
+            elif kind is OpKind.LOAD:
+                self._emit_load(em, op, local)
+            elif kind is OpKind.STORE:
+                self._emit_store(em, op, local, store_mode)
+            elif kind in (OpKind.BARRIER, OpKind.DELAY, OpKind.NOP):
+                pass
+            else:
+                message = f"FSMD cannot execute {op.kind}"
+                em.line(f"raise SimulationError({message!r})")
+        except _NeverDefined as missing:
+            self._raise_read(em, missing.vreg)
+        except InterpError as err:
+            em.line(f"raise InterpError({str(err)!r})")
+
+    def _emit_binary(self, em: _Emitter, op: Operation, local: Set[VReg]) -> None:
+        assert op.dest is not None
+        a = self._expr(op.operands[0], local)
+        b = self._expr(op.operands[1], local)
+        o = op.op
+        if o in _WRAPPING:
+            rhs = self._wrap_expr(f"({a}) {o} ({b})", op.dest.type)
+        elif o in _COMPARISONS:
+            rhs = f"1 if ({a}) {o} ({b}) else 0"
+        elif o == "&&":
+            rhs = f"1 if ({a}) and ({b}) else 0"
+        elif o == "||":
+            rhs = f"1 if ({a}) or ({b}) else 0"
+        elif o == "/" or o == "%":
+            rt = _as_int_type(op.dest.type)
+            ta, tb, tq = self._temp("_a"), self._temp("_b"), self._temp("_q")
+            em.line(f"{ta} = {a}")
+            em.line(f"{tb} = {b}")
+            word = "division" if o == "/" else "modulo"
+            em.line(f"if {tb} == 0:")
+            em.line(f"    raise InterpError('{word} by zero')")
+            em.line(f"{tq} = abs({ta}) // abs({tb})")
+            em.line(f"if ({ta} < 0) != ({tb} < 0):")
+            em.line(f"    {tq} = -{tq}")
+            if o == "/":
+                rhs = self._wrap_expr(tq, rt)
+            else:
+                rhs = self._wrap_expr(f"{ta} - {tq} * {tb}", rt)
+        elif o == "<<" or o == ">>":
+            rt = _as_int_type(op.dest.type)
+            tb = self._temp("_b")
+            em.line(f"{tb} = {b}")
+            em.line(f"if {tb} < 0:")
+            em.line(
+                f"    raise InterpError('negative shift amount %d' % {tb})"
+            )
+            em.line(f"elif {tb} > {rt.width}:")
+            em.line(f"    {tb} = {rt.width}")
+            rhs = self._wrap_expr(f"({a}) {o} {tb}", rt)
+        else:
+            message = f"unknown binary operator {o!r}"
+            em.line(f"raise InterpError({message!r})")
+            return
+        self._assign_dest(em, op, rhs, local)
+
+    def _emit_unary(self, em: _Emitter, op: Operation, local: Set[VReg]) -> None:
+        assert op.dest is not None
+        a = self._expr(op.operands[0], local)
+        o = op.op
+        if o == "-":
+            rhs = self._wrap_expr(f"-({a})", op.dest.type)
+        elif o == "~":
+            rhs = self._wrap_expr(f"~({a})", op.dest.type)
+        elif o == "!":
+            rhs = f"1 if ({a}) == 0 else 0"
+        else:
+            message = f"unknown unary operator {o!r}"
+            em.line(f"raise InterpError({message!r})")
+            return
+        self._assign_dest(em, op, rhs, local)
+
+    def _bounds_raise(self, op: Operation, index_temp: str) -> str:
+        assert op.array is not None
+        verb = "load" if op.kind is OpKind.LOAD else "store"
+        mem = self._mslot(op.array)
+        prefix = f"{self.fsmd.name}: {verb} {op.array.unique_name}["
+        return (
+            f"raise SimulationError({prefix!r} + str({index_temp})"
+            f" + '] out of bounds (size %d)' % _L{mem})"
+        )
+
+    def _emit_load(self, em: _Emitter, op: Operation, local: Set[VReg]) -> None:
+        assert op.dest is not None and op.array is not None
+        mem = self._mslot(op.array)
+        index = self._expr(op.operands[0], local)
+        ti = self._temp("_i")
+        em.line(f"{ti} = {index}")
+        if self.fsmd.tolerant_memory:
+            rhs = f"m{mem}[{ti}] if 0 <= {ti} < _L{mem} else 0"
+        else:
+            em.line(f"if not 0 <= {ti} < _L{mem}:")
+            em.line(f"    {self._bounds_raise(op, ti)}")
+            rhs = f"m{mem}[{ti}]"
+        self._assign_dest(em, op, rhs, local)
+
+    def _emit_store(self, em: _Emitter, op: Operation, local: Set[VReg],
+                    store_mode: str) -> None:
+        assert op.array is not None
+        mem = self._mslot(op.array)
+        index = self._expr(op.operands[0], local)
+        ti = self._temp("_i")
+        em.line(f"{ti} = {index}")
+        if self.fsmd.tolerant_memory:
+            if store_mode == "check":
+                return
+            value = self._expr(op.operands[1], local)
+            em.line(f"if 0 <= {ti} < _L{mem}:")
+            if store_mode == "list":
+                em.line(f"    _st.append((m{mem}, {ti}, {value}))")
+            else:
+                tv = self._temp("_v")
+                em.line(f"    {tv} = {value}")
+                em.line("else:")
+                em.line(f"    {ti} = -1")
+                self._pending_stores.append((mem, ti, tv, True))
+            return
+        em.line(f"if not 0 <= {ti} < _L{mem}:")
+        em.line(f"    {self._bounds_raise(op, ti)}")
+        if store_mode == "check":
+            return
+        value = self._expr(op.operands[1], local)
+        if store_mode == "list":
+            em.line(f"_st.append((m{mem}, {ti}, {value}))")
+        else:
+            tv = self._temp("_v")
+            em.line(f"{tv} = {value}")
+            self._pending_stores.append((mem, ti, tv, False))
+
+    def _apply_stores(self, em: _Emitter) -> None:
+        """Apply temp-buffered stores, in op order, at the clock edge."""
+        for mem, ti, tv, tolerant in self._pending_stores:
+            if tolerant:
+                em.line(f"if {ti} >= 0:")
+                em.line(f"    m{mem}[{ti}] = {tv}")
+            else:
+                em.line(f"m{mem}[{ti}] = {tv}")
+        self._pending_stores = []
+
+    # -- transition + latches (the clock edge) ------------------------------
+
+    def _emit_commit(self, em: _Emitter, state: State, local: Set[VReg],
+                     race_check: bool) -> None:
+        """Next-state decision, then latches, then the done/return tail.
+
+        Mirrors the interpreter's ordering exactly: the transition tree
+        and every latch operand are read combinationally (pre-edge), then
+        latches fire, then done is recorded."""
+        has_done = self._has_done(state.transition)
+        if has_done:
+            em.line("_res = None")
+        self._emit_transition_tree(em, state, local)
+        self._emit_latches(em, state, local, race_check)
+        if has_done:
+            em.line("if _nx < 0:")
+            em.line("    if _res is not None:")
+            rt = self.fsmd.return_type
+            if rt is not None and rt.bit_width > 0:
+                try:
+                    wrapped = self._wrap_expr("_res", rt)
+                    em.line(f"        ctx.result = {wrapped}")
+                except InterpError as err:
+                    em.line(f"        raise InterpError({str(err)!r})")
+            else:
+                em.line("        ctx.result = _res")
+        em.line("return _nx")
+
+    @staticmethod
+    def _has_done(transition) -> bool:
+        if isinstance(transition, Done):
+            return True
+        if isinstance(transition, CondNext):
+            return (_MachineCompiler._has_done(transition.if_true)
+                    or _MachineCompiler._has_done(transition.if_false))
+        return False
+
+    def _emit_transition_tree(self, em: _Emitter, state: State,
+                              local: Set[VReg]) -> None:
+        def walk(tr) -> None:
+            if isinstance(tr, int):
+                em.line(f"_nx = {tr}")
+            elif isinstance(tr, NextState):
+                em.line(f"_nx = {tr.target}")
+            elif isinstance(tr, Done):
+                em.line("_nx = -1")
+                if tr.value is not None:
+                    try:
+                        em.line(f"_res = {self._expr(tr.value, local)}")
+                    except _NeverDefined as missing:
+                        self._raise_read(
+                            em, missing.vreg, " (latch/transition)"
+                        )
+            elif isinstance(tr, CondNext):
+                try:
+                    cond = self._expr(tr.cond, local)
+                except _NeverDefined as missing:
+                    self._raise_read(em, missing.vreg, " (latch/transition)")
+                    return
+                em.line(f"if {cond}:")
+                em.depth += 1
+                walk(tr.if_true)
+                em.depth -= 1
+                em.line("else:")
+                em.depth += 1
+                walk(tr.if_false)
+                em.depth -= 1
+            else:
+                message = f"state {state.label} has no transition"
+                em.line(f"raise SimulationError({message!r})")
+                em.line("_nx = -1")    # unreachable; keeps _nx bound
+
+        walk(state.transition)
+
+    def _emit_latches(self, em: _Emitter, state: State, local: Set[VReg],
+                      race_check: bool) -> None:
+        writes: List[Tuple[Symbol, str]] = []
+        for symbol, value in state.latches.items():
+            try:
+                expr = self._expr(value, local)
+            except _NeverDefined as missing:
+                self._raise_read(em, missing.vreg, " (latch/transition)")
+                return
+            temp = self._temp("_l")
+            em.line(f"{temp} = {expr}")
+            writes.append((symbol, temp))
+        for symbol, temp in writes:
+            try:
+                wrapped = self._wrap_expr(temp, symbol.type)
+            except InterpError as err:
+                em.line(f"raise InterpError({str(err)!r})")
+                return
+            if symbol.kind is SymbolKind.GLOBAL:
+                slot = self._gslot(symbol)
+                if race_check:
+                    prefix = f"global {symbol.name!r} written by "
+                    suffix = f" and {self.fsmd.name} in the same cycle"
+                    em.line(f"_p = gw.get({slot})")
+                    em.line(
+                        f"if _p is not None and _p != {self.fsmd.name!r}:"
+                    )
+                    em.line(
+                        f"    raise SimulationError({prefix!r} + _p"
+                        f" + {suffix!r})"
+                    )
+                    em.line(f"gw[{slot}] = {self.fsmd.name!r}")
+                em.line(f"g[{slot}] = {wrapped}")
+            else:
+                em.line(f"r[{self._rslot(symbol)}] = {wrapped}")
+
+    # -- per-state closures -------------------------------------------------
+
+    def _begin_fn(self, em: _Emitter, header: str) -> int:
+        em.line(header)
+        em.depth += 1
+        return len(em.lines)
+
+    def _end_fn(self, em: _Emitter, mark: int) -> None:
+        if len(em.lines) == mark:
+            em.line("pass")
+        em.depth -= 1
+
+    def _emit_fast_state(self, em: _Emitter, state: State) -> None:
+        mark = self._begin_fn(em, f"def s{state.id}():")
+        local: Set[VReg] = set()
+        self._pending_stores: List[Tuple[int, str, str, bool]] = []
+        self._tmp = 0
+        for op in state.ops:
+            if op.kind in (OpKind.SEND, OpKind.RECV):
+                continue
+            self._emit_op(em, op, local, "temps")
+        self._apply_stores(em)
+        self._emit_commit(em, state, local, race_check=False)
+        self._end_fn(em, mark)
+
+    def _emit_eval_state(self, em: _Emitter, state: State) -> None:
+        mark = self._begin_fn(em, f"def e{state.id}():")
+        local: Set[VReg] = set()
+        self._pending_stores = []
+        self._tmp = 0
+        for op in state.ops:
+            if op.kind in (OpKind.SEND, OpKind.RECV):
+                continue
+            self._emit_op(em, op, local, "list")
+        self._end_fn(em, mark)
+        mark = self._begin_fn(em, f"def c{state.id}():")
+        em.line("for _sm, _si, _sv in _st:")
+        em.line("    _sm[_si] = _sv")
+        em.line("del _st[:]")
+        # The commit closure runs in phase 3: vreg reads come from wire
+        # slots written in phase 1, register/global reads are live (later
+        # machines see earlier machines' same-cycle global writes, exactly
+        # like the interpreter's latch pass).
+        self._emit_commit(em, state, set(), race_check=True)
+        self._end_fn(em, mark)
+
+    def _pre_skip_set(self, state: State) -> Set[VReg]:
+        """Ops the interpreter's phase A skips via ``_ValueNotReady``:
+        anything (transitively) reading the pending recv value or a vreg
+        nothing produces."""
+        channel = self.chan_op[state.id]
+        unavailable: Set[VReg] = set()
+        if channel is not None and channel.kind is OpKind.RECV:
+            assert channel.dest is not None
+            unavailable.add(channel.dest)
+        skipped: Set[VReg] = set()
+        for op in state.ops:
+            if op.kind in (OpKind.SEND, OpKind.RECV):
+                if op.dest is not None and op is not channel:
+                    unavailable.add(op.dest)
+                continue
+            reads = self._vreg_reads(op.operands)
+            tainted = any(
+                v in unavailable or v not in self.defined for v in reads
+            )
+            if tainted and op.dest is not None:
+                unavailable.add(op.dest)
+            if tainted:
+                skipped.add(id(op))     # type: ignore[arg-type]
+        return skipped
+
+    def _emit_offer_state(self, em: _Emitter, state: State) -> None:
+        channel = self.chan_op[state.id]
+        assert channel is not None and channel.channel is not None
+        skipped = self._pre_skip_set(state)
+        # Phase A: settle what does not depend on the rendezvous.  Stores
+        # are bounds-checked (a strict OOB raises here, as in the
+        # interpreter) but never applied — a stalled state's stores are
+        # discarded and recomputed after the handshake.
+        mark = self._begin_fn(em, f"def p{state.id}():")
+        local: Set[VReg] = set()
+        self._pending_stores = []
+        self._tmp = 0
+        for op in state.ops:
+            if op.kind in (OpKind.SEND, OpKind.RECV) or id(op) in skipped:
+                continue
+            self._emit_op(em, op, local, "check")
+        self._end_fn(em, mark)
+        # Phase 3 (on match): re-settle everything, now that the received
+        # value is in its wire slot, then commit in the same closure.
+        mark = self._begin_fn(em, f"def o{state.id}():")
+        local = set()
+        self._pending_stores = []
+        self._tmp = 0
+        for op in state.ops:
+            if op.kind in (OpKind.SEND, OpKind.RECV):
+                continue
+            self._emit_op(em, op, local, "temps")
+        self._apply_stores(em)
+        self._emit_commit(em, state, local, race_check=True)
+        self._end_fn(em, mark)
+        if channel.kind is OpKind.SEND:
+            mark = self._begin_fn(em, f"def snd{state.id}():")
+            try:
+                em.line(f"return {self._expr(channel.operands[0], set())}")
+            except _NeverDefined as missing:
+                self._raise_read(em, missing.vreg)
+            self._end_fn(em, mark)
+            self.plan.chan[state.id] = ("send", channel.channel)
+        else:
+            assert channel.dest is not None
+            mark = self._begin_fn(em, f"def rcv{state.id}(x):")
+            slot = self._wslot(channel.dest)
+            try:
+                em.line(f"w[{slot}] = {self._wrap_expr('x', channel.dest.type)}")
+            except InterpError as err:
+                em.line(f"raise InterpError({str(err)!r})")
+            self._end_fn(em, mark)
+            self.plan.chan[state.id] = ("recv", channel.channel)
+
+    # -- whole-machine assembly ---------------------------------------------
+
+    def compile(self) -> _MachinePlan:
+        self.assign_slots()
+        em = _Emitter()
+        em.line("def _factory(r, w, g, mems, ctx, gw):")
+        em.depth += 1
+        body_mark = len(em.lines)
+        em.line("_st = []")
+        states = self.fsmd.states
+        self.plan.chan = [None] * len(states)
+        # Emit every state; slot maps grow as expressions are generated.
+        state_fns: List[str] = []
+        for state in states:
+            if self.fast:
+                self._emit_fast_state(em, state)
+                state_fns.append(f"s{state.id}")
+            elif self.chan_op[state.id] is None:
+                self._emit_eval_state(em, state)
+            else:
+                self._emit_offer_state(em, state)
+        if self.fast:
+            em.line(f"return [{', '.join(state_fns)}], None, None, None")
+        else:
+            phase1, phase3, sends, recvs = [], [], [], []
+            for state in states:
+                if self.chan_op[state.id] is None:
+                    phase1.append(f"e{state.id}")
+                    phase3.append(f"c{state.id}")
+                    sends.append("None")
+                    recvs.append("None")
+                else:
+                    phase1.append(f"p{state.id}")
+                    phase3.append(f"o{state.id}")
+                    is_send = self.chan_op[state.id].kind is OpKind.SEND
+                    sends.append(f"snd{state.id}" if is_send else "None")
+                    recvs.append("None" if is_send else f"rcv{state.id}")
+            em.line(f"return ([{', '.join(phase1)}],")
+            em.line(f"        [{', '.join(phase3)}],")
+            em.line(f"        [{', '.join(sends)}],")
+            em.line(f"        [{', '.join(recvs)}])")
+        # Memory bindings, now that _mslot has seen every array: hoist the
+        # list objects and their lengths into factory locals.
+        prologue = _Emitter()
+        prologue.depth = 1
+        for index in range(len(self.mem_spec)):
+            prologue.line(f"m{index} = mems[{index}]")
+            prologue.line(f"_L{index} = len(m{index})")
+        em.lines[body_mark:body_mark] = prologue.lines
+        plan = self.plan
+        plan.source = em.source()
+        plan.n_regs = len(self.reg_slots)
+        plan.n_wires = len(self.wire_slots)
+        plan.mem_spec = self.mem_spec
+        namespace: Dict[str, Any] = {
+            "SimulationError": SimulationError,
+            "InterpError": InterpError,
+            "abs": abs,
+        }
+        code = compile(plan.source, f"<compiled-fsmd:{self.fsmd.name}>", "exec")
+        exec(code, namespace)
+        plan.factory = namespace["_factory"]
+        return plan
+
+
+class SystemPlan:
+    """The compiled form of an entire :class:`FSMDSystem`.
+
+    Built once per system (see :func:`compile_system`); :meth:`run` is
+    then cheap: it allocates fresh storage lists, calls each machine's
+    factory to close its state functions over them, and drives the cycle
+    loop."""
+
+    def __init__(self, system: FSMDSystem):
+        self.system = system
+        self.compile_s = 0.0
+        self.fast = len(system.fsmds) == 1 and not any(
+            state.channel_op() is not None
+            for fsmd in system.fsmds
+            for state in fsmd.states
+        )
+        self.global_slots: Dict[Symbol, int] = {}
+        for symbol in system.global_registers:
+            self.global_slots[symbol] = len(self.global_slots)
+        self.machines: List[_MachinePlan] = [
+            _MachineCompiler(fsmd, self.global_slots, self.fast).compile()
+            for fsmd in system.fsmds
+        ]
+
+    def dump(self) -> str:
+        """The generated Python source, for debugging."""
+        parts = []
+        for plan in self.machines:
+            parts.append(f"# === {plan.name} ===\n{plan.source}")
+        return "\n".join(parts)
+
+    # -- per-run storage ----------------------------------------------------
+
+    def _instantiate(
+        self,
+        args: Sequence[int],
+        process_args: Optional[Dict[str, Sequence[int]]],
+    ):
+        system = self.system
+        g = [0] * len(self.global_slots)
+        for symbol in system.global_registers:
+            init = system.global_inits.get(symbol.name, 0)
+            g[self.global_slots[symbol]] = (
+                wrap(init, symbol.type) if isinstance(init, int) else 0
+            )
+        global_mems: Dict[Symbol, List[int]] = {}
+        for symbol in system.global_arrays:
+            assert isinstance(symbol.type, ArrayType)
+            words = [0] * symbol.type.size
+            init = system.global_inits.get(symbol.name)
+            if isinstance(init, list):
+                for i, v in enumerate(init):
+                    words[i] = v
+            global_mems[symbol] = words
+        for symbol, image in system.memory_images.items():
+            if symbol.kind is SymbolKind.GLOBAL:
+                global_mems[symbol] = list(image)
+        gw: Dict[int, str] = {}
+        process_args = process_args or {}
+        runtimes: List[_MachineRuntime] = []
+        for index, plan in enumerate(self.machines):
+            machine_args = (
+                args if index == 0 else process_args.get(plan.name, ())
+            )
+            if len(machine_args) != len(plan.param_slots):
+                raise SimulationError(
+                    f"{plan.name} expects {len(plan.param_slots)} arguments,"
+                    f" got {len(machine_args)}"
+                )
+            r = [0] * plan.n_regs
+            for (slot, symbol), value in zip(plan.param_slots, machine_args):
+                r[slot] = wrap(value, symbol.type)
+            mems: List[List[int]] = []
+            for kind, symbol in plan.mem_spec:
+                if kind == "global":
+                    mems.append(global_mems[symbol])
+                else:
+                    assert isinstance(symbol.type, ArrayType)
+                    size = symbol.type.size
+                    image = system.memory_images.get(symbol)
+                    mems.append(
+                        list(image) + [0] * (size - len(image))
+                        if image is not None else [0] * size
+                    )
+            w = [0] * plan.n_wires
+            ctx = _Ctx(plan.entry)
+            assert plan.factory is not None
+            runtimes.append(_MachineRuntime(
+                plan, plan.factory(r, w, g, mems, ctx, gw), ctx
+            ))
+        return g, global_mems, gw, runtimes
+
+    # -- cycle loops --------------------------------------------------------
+
+    def run(
+        self,
+        args: Sequence[int] = (),
+        process_args: Optional[Dict[str, Sequence[int]]] = None,
+        max_cycles: int = 2_000_000,
+        profile: Optional[SimProfile] = None,
+    ) -> SimResult:
+        g, global_mems, gw, runtimes = self._instantiate(args, process_args)
+        started = perf_counter()
+        channel_log: Dict[str, List[int]] = {
+            c.name: [] for c in self.system.channels
+        }
+        if self.fast:
+            cycle, stall_cycles = self._run_fast(
+                runtimes[0], max_cycles, profile
+            ), 0
+        else:
+            cycle, stall_cycles = self._run_general(
+                runtimes, gw, channel_log, max_cycles, profile
+            )
+        if profile is not None:
+            profile.backend = "compiled"
+            profile.compile_s = self.compile_s
+            profile.execute_s = perf_counter() - started
+            profile.cycles = cycle
+        root = runtimes[0].ctx
+        result = SimResult(
+            value=root.result,
+            cycles=root.finish if root.finish is not None else cycle,
+            stall_cycles=stall_cycles,
+        )
+        for symbol in self.system.global_registers:
+            result.globals[symbol.name] = g[self.global_slots[symbol]]
+        for symbol in self.system.global_arrays:
+            result.globals[symbol.name] = list(global_mems[symbol])
+        result.channel_log = {
+            name: list(values) for name, values in channel_log.items()
+        }
+        for runtime in runtimes:
+            result.per_process_cycles[runtime.name] = (
+                runtime.ctx.finish if runtime.ctx.finish is not None
+                else cycle
+            )
+        return result
+
+    def _run_fast(
+        self,
+        runtime: _MachineRuntime,
+        max_cycles: int,
+        profile: Optional[SimProfile],
+    ) -> int:
+        fns = runtime.phase1
+        state = runtime.ctx.state
+        cycle = 0
+        budget_error = f"cycle budget of {max_cycles} exhausted"
+        if profile is None:
+            while True:
+                if cycle >= max_cycles:
+                    raise SimulationError(budget_error)
+                state = fns[state]()
+                cycle += 1
+                if state < 0:
+                    break
+        else:
+            labels, name = runtime.labels, runtime.name
+            while True:
+                if cycle >= max_cycles:
+                    raise SimulationError(budget_error)
+                profile.visit(name, labels[state])
+                state = fns[state]()
+                cycle += 1
+                if state < 0:
+                    break
+        runtime.ctx.done = True
+        runtime.ctx.finish = cycle
+        return cycle
+
+    def _run_general(
+        self,
+        runtimes: List[_MachineRuntime],
+        gw: Dict[int, str],
+        channel_log: Dict[str, List[int]],
+        max_cycles: int,
+        profile: Optional[SimProfile],
+    ) -> Tuple[int, int]:
+        root = runtimes[0].ctx
+        cycle = 0
+        stall_cycles = 0
+        senders: Dict[Symbol, List[_MachineRuntime]] = {}
+        receivers: Dict[Symbol, List[_MachineRuntime]] = {}
+        while not root.done:
+            if cycle >= max_cycles:
+                raise SimulationError(
+                    f"cycle budget of {max_cycles} exhausted"
+                )
+            gw.clear()
+            senders.clear()
+            receivers.clear()
+            evaluations: List[Tuple[_MachineRuntime, int, Optional[Tuple]]] = []
+            for runtime in runtimes:
+                ctx = runtime.ctx
+                if ctx.done:
+                    continue
+                sid = ctx.state
+                if profile is not None:
+                    profile.visit(runtime.name, runtime.labels[sid])
+                offer = runtime.chan[sid]
+                runtime.phase1[sid]()
+                evaluations.append((runtime, sid, offer))
+                if offer is not None:
+                    side = senders if offer[0] == "send" else receivers
+                    side.setdefault(offer[1], []).append(runtime)
+            # Rendezvous matching: one transfer per channel per cycle,
+            # first sender with first receiver in machine order.
+            matched: Set[int] = set()
+            for channel, send_list in senders.items():
+                recv_list = receivers.get(channel)
+                if send_list and recv_list:
+                    sender, receiver = send_list[0], recv_list[0]
+                    value = sender.sends[sender.ctx.state]()
+                    receiver.recvs[receiver.ctx.state](value)
+                    channel_log[channel.name].append(value)
+                    matched.add(id(sender))
+                    matched.add(id(receiver))
+            advanced = False
+            any_stalled = False
+            for runtime, sid, offer in evaluations:
+                if offer is not None and id(runtime) not in matched:
+                    any_stalled = True
+                    continue       # stall: re-offer next cycle
+                next_state = runtime.phase3[sid]()
+                if next_state < 0:
+                    runtime.ctx.done = True
+                    runtime.ctx.finish = cycle + 1
+                else:
+                    runtime.ctx.state = next_state
+                advanced = True
+            if not advanced:
+                if any_stalled:
+                    blocked = [
+                        runtime.name
+                        for runtime, _, offer in evaluations
+                        if offer is not None
+                    ]
+                    raise SimulationError(
+                        "rendezvous deadlock: " + ", ".join(sorted(blocked))
+                    )
+                raise SimulationError("no machine could advance")
+            if any_stalled:
+                stall_cycles += 1
+            cycle += 1
+        return cycle, stall_cycles
+
+
+def compile_system(system: FSMDSystem) -> SystemPlan:
+    """Compile ``system`` (cached: repeated calls return the same plan)."""
+    plan = getattr(system, "_compiled_plan", None)
+    if isinstance(plan, SystemPlan) and plan.system is system:
+        return plan
+    started = perf_counter()
+    plan = SystemPlan(system)
+    plan.compile_s = perf_counter() - started
+    system._compiled_plan = plan        # cache on the (plain) dataclass
+    return plan
+
+
+def simulate_compiled(
+    system: FSMDSystem,
+    args: Sequence[int] = (),
+    max_cycles: int = 2_000_000,
+    process_args: Optional[Dict[str, Sequence[int]]] = None,
+    profile: Optional[SimProfile] = None,
+) -> SimResult:
+    """Drop-in replacement for :func:`fsmd_sim.simulate`."""
+    return compile_system(system).run(
+        args=args, process_args=process_args, max_cycles=max_cycles,
+        profile=profile,
+    )

@@ -105,20 +105,19 @@ class _Machine:
 
     # -- one state's combinational evaluation ---------------------------------
 
-    def evaluate_state(self, state: State) -> Tuple[List[Tuple[Symbol, int, int]], bool]:
-        """Execute the state's non-channel ops.  Returns (stores, offered):
-        stores are (array, index, value) triples applied at the clock edge;
-        ``offered`` is True when the state contains a channel op (handled by
-        the scheduler-level rendezvous logic).
+    def evaluate_state(
+        self, state: State, offered: bool
+    ) -> List[Tuple[Symbol, int, int]]:
+        """Execute the state's non-channel ops.  Returns the stores —
+        (array, index, value) triples applied at the clock edge.
+        ``offered`` says whether the state contains a channel op (the
+        caller already knows, from the state's memoized ``channel_op``).
 
         In a state that offers a rendezvous, logic chained off the incoming
         value cannot settle until the handshake fires: such ops are skipped
         here and computed by :meth:`reevaluate_after_match`.  A missing
         value in a non-offering state is a genuine compiler bug."""
         stores: List[Tuple[Symbol, int, int]] = []
-        offered = any(
-            op.kind in (OpKind.SEND, OpKind.RECV) for op in state.ops
-        )
         for op in state.ops:
             if op.kind in (OpKind.SEND, OpKind.RECV):
                 continue
@@ -131,7 +130,7 @@ class _Machine:
                     f"{self.fsmd.name}: {missing.args[0]} read before"
                     " being computed"
                 )
-        return stores, offered
+        return stores
 
     def reevaluate_after_match(self, state: State) -> List[Tuple[Symbol, int, int]]:
         """After this state's rendezvous fired, settle the remaining
@@ -325,14 +324,27 @@ class FSMDSimulator:
 
     # -- main loop ---------------------------------------------------------
 
-    def run(self) -> SimResult:
+    def run(self, profile=None) -> SimResult:
         root = self.machines[0]
         while not root.done:
             if self.cycle >= self.max_cycles:
                 raise SimulationError(
                     f"cycle budget of {self.max_cycles} exhausted"
                 )
+            if profile is not None:
+                for machine in self.machines:
+                    if not machine.done:
+                        state = machine.fsmd.state(machine.state_id)
+                        profile.visit(
+                            machine.fsmd.name, state.label or f"S{state.id}"
+                        )
             self._step()
+        if profile is not None:
+            profile.backend = "interp"
+            profile.cycles = (
+                root.finish_cycle if root.finish_cycle is not None
+                else self.cycle
+            )
         result = SimResult(
             value=root.result,
             cycles=root.finish_cycle if root.finish_cycle is not None else self.cycle,
@@ -353,34 +365,40 @@ class FSMDSimulator:
 
     def _step(self) -> None:
         self._global_writes_this_cycle = {}
-        running = [m for m in self.machines if not m.done]
-        evaluations: Dict[int, Tuple[State, List[Tuple[Symbol, int, int]]]] = {}
-        senders: Dict[Symbol, List[Tuple[_Machine, Operation, State]]] = {}
-        receivers: Dict[Symbol, List[Tuple[_Machine, Operation, State]]] = {}
-        for index, machine in enumerate(self.machines):
+        # One pass over the machines builds everything the cycle needs:
+        # each running machine's evaluation (state, stores, channel op) in
+        # machine order, plus the per-channel offer lists.  Done machines
+        # are skipped here once, not re-filtered per phase.
+        evaluations: List[
+            Tuple[_Machine, State, List[Tuple[Symbol, int, int]],
+                  Optional[Operation]]
+        ] = []
+        senders: Dict[Symbol, List[Tuple[_Machine, Operation]]] = {}
+        receivers: Dict[Symbol, List[Tuple[_Machine, Operation]]] = {}
+        for machine in self.machines:
             if machine.done:
                 continue
             state = machine.fsmd.state(machine.state_id)
-            stores, offered = machine.evaluate_state(state)
-            evaluations[index] = (state, stores)
-            if offered:
-                channel_op = state.channel_op()
-                assert channel_op is not None and channel_op.channel is not None
+            channel_op = state.channel_op()
+            stores = machine.evaluate_state(state, channel_op is not None)
+            evaluations.append((machine, state, stores, channel_op))
+            if channel_op is not None:
+                assert channel_op.channel is not None
                 if channel_op.kind is OpKind.SEND:
                     senders.setdefault(channel_op.channel, []).append(
-                        (machine, channel_op, state)
+                        (machine, channel_op)
                     )
                 else:
                     receivers.setdefault(channel_op.channel, []).append(
-                        (machine, channel_op, state)
+                        (machine, channel_op)
                     )
         # Rendezvous matching: one transfer per channel per cycle.
         matched: set = set()
         for channel, send_list in senders.items():
             recv_list = receivers.get(channel, [])
             if send_list and recv_list:
-                sender, send_op, _ = send_list[0]
-                receiver, recv_op, _ = recv_list[0]
+                sender, send_op = send_list[0]
+                receiver, recv_op = recv_list[0]
                 value = sender.operand(send_op.operands[0])
                 assert recv_op.dest is not None
                 receiver.vregs[recv_op.dest] = wrap(value, recv_op.dest.type)
@@ -389,15 +407,11 @@ class FSMDSimulator:
                 matched.add(id(receiver))
         advanced = False
         any_stalled = False
-        for index, machine in enumerate(self.machines):
-            if machine.done or index not in evaluations:
-                continue
-            state, stores = evaluations[index]
-            offering = state.channel_op() is not None
-            if offering and id(machine) not in matched:
-                any_stalled = True
-                continue  # stall: re-offer next cycle
-            if offering:
+        for machine, state, stores, channel_op in evaluations:
+            if channel_op is not None:
+                if id(machine) not in matched:
+                    any_stalled = True
+                    continue  # stall: re-offer next cycle
                 # The handshake fired: logic downstream of the received
                 # value settles within the same cycle.
                 stores = machine.reevaluate_after_match(state)
@@ -408,8 +422,9 @@ class FSMDSimulator:
         if not advanced:
             if any_stalled:
                 blocked = [
-                    m.fsmd.name for m in running
-                    if m.fsmd.state(m.state_id).channel_op() is not None
+                    machine.fsmd.name
+                    for machine, _, _, channel_op in evaluations
+                    if channel_op is not None
                 ]
                 raise SimulationError(
                     "rendezvous deadlock: " + ", ".join(sorted(blocked))
@@ -425,8 +440,17 @@ def simulate(
     args: Sequence[int] = (),
     max_cycles: int = 2_000_000,
     process_args: Optional[Dict[str, Sequence[int]]] = None,
+    profile=None,
 ) -> SimResult:
     """Convenience wrapper: build the simulator and run it."""
-    return FSMDSimulator(
+    sim = FSMDSimulator(
         system, args=args, process_args=process_args, max_cycles=max_cycles
-    ).run()
+    )
+    if profile is None:
+        return sim.run()
+    from time import perf_counter
+
+    started = perf_counter()
+    result = sim.run(profile)
+    profile.execute_s = perf_counter() - started
+    return result

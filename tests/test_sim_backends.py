@@ -1,0 +1,406 @@
+"""Backend-equivalence suite: interp vs compiled FSMD simulation.
+
+The compiled backend (:mod:`repro.sim.compiled`) must be a pure
+performance transformation — bit-identical :class:`SimResult` contents,
+identical error messages, identical profiler histograms.  This suite
+pins that contract three ways:
+
+* the full workload × flow matrix through the shared engine, where a
+  cell's ``identity()`` (minus the backend tag itself) must not depend
+  on the backend;
+* targeted rendezvous, tolerant-memory, structural, and error-path
+  programs where the general scheduler and the single-machine fast
+  path each get exercised directly;
+* the triaged fuzz corpus, whose divergence signatures must be
+  backend-independent (a flow bug is a flow bug under either engine).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.flows import OcapiModule, run_flow
+from repro.fuzz import Corpus, replay_entry
+from repro.runner import CellTask, MatrixEngine, suite_tasks
+from repro.sim import (
+    SimProfile,
+    SimulationError,
+    compile_system,
+    simulate,
+)
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return MatrixEngine(jobs=1, cache=None, timeout_s=30.0, max_cycles=200_000)
+
+
+def _neutral_identity(result):
+    """A cell's identity with the backend tag removed — everything that
+    must NOT depend on the backend."""
+    identity = result.identity()
+    identity.pop("sim_backend")
+    return identity
+
+
+# ---------------------------------------------------------------------------
+# The whole matrix, both backends
+# ---------------------------------------------------------------------------
+
+
+def test_suite_identity_is_backend_independent(engine):
+    """Every (workload, flow) cell produces the same identity — value,
+    cycles, observables, verdict, diagnostics, RTL hash — under both
+    backends.  This is the acceptance criterion for the whole subsystem."""
+    interp = engine.run_cells(suite_tasks(sim_backend="interp"))
+    compiled = engine.run_cells(suite_tasks(sim_backend="compiled"))
+    assert len(interp) == len(compiled) and interp
+    for a, b in zip(interp, compiled):
+        assert a.sim_backend == "interp" and b.sim_backend == "compiled"
+        assert _neutral_identity(a) == _neutral_identity(b), (
+            f"{a.workload}/{a.flow}: backends diverge"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Rendezvous programs (multi-machine general scheduler)
+# ---------------------------------------------------------------------------
+
+_PRODUCER_CONSUMER = """
+chan<int> c;
+chan<int> done;
+
+process void producer() {
+    int i;
+    for (i = 1; i <= 8; i = i + 1) {
+        send(c, i * i);
+    }
+}
+
+process void consumer() {
+    int i;
+    int total = 0;
+    for (i = 0; i < 8; i = i + 1) {
+        total = total + recv(c);
+    }
+    send(done, total);
+}
+
+int main() {
+    return recv(done);
+}
+"""
+
+_STAGGERED = """
+chan<int> c;
+int seen = 0;
+
+process void fast() {
+    send(c, 7);
+    send(c, 9);
+}
+
+process void slow() {
+    delay(5);
+    seen = recv(c);
+    delay(3);
+    seen = seen + recv(c);
+}
+
+int main() {
+    delay(20);
+    return 0;
+}
+"""
+
+
+@pytest.mark.parametrize("flow", ["specc", "systemc"])
+@pytest.mark.parametrize("source", [_PRODUCER_CONSUMER, _STAGGERED],
+                         ids=["producer-consumer", "staggered-delay"])
+def test_rendezvous_results_identical(flow, source):
+    interp = run_flow(source, flow=flow, sim_backend="interp")
+    compiled = run_flow(source, flow=flow, sim_backend="compiled")
+    assert interp.observable() == compiled.observable()
+    assert interp.cycles == compiled.cycles
+    assert interp.channel_log == compiled.channel_log
+    assert interp.globals == compiled.globals
+    assert interp.stats.get("stall_cycles") == compiled.stats.get(
+        "stall_cycles"
+    )
+
+
+def test_ocapi_structural_design_both_backends():
+    def build():
+        m = OcapiModule("accumulate")
+        n = m.input("n")
+        acc = m.register("acc")
+        i = m.register("i")
+        entry, loop, done = m.entry, m.state("loop"), m.state("done")
+        entry.latch(acc, 0).latch(i, 0).goto(loop)
+        next_i = loop.add(i, 1)
+        loop.latch(acc, loop.add(acc, i)).latch(i, next_i)
+        loop.branch(loop.lt(next_i, n), loop, done)
+        done.done(done.read(acc))
+        return m.build()
+
+    interp = build().run(args=(10,), sim_backend="interp")
+    compiled = build().run(args=(10,), sim_backend="compiled")
+    assert interp.observable() == compiled.observable()
+    assert (interp.value, interp.cycles) == (compiled.value, compiled.cycles)
+    assert compiled.value == 45
+
+
+def test_handelc_tolerant_memory_both_backends():
+    source = """
+    int lut[4] = {10, 20, 30, 40};
+    int main(int i) {
+        lut[i + 9] = 99;
+        return lut[i + 9] + lut[i];
+    }
+    """
+    interp = run_flow(source, flow="handelc", args=(2,), sim_backend="interp")
+    compiled = run_flow(source, flow="handelc", args=(2,),
+                        sim_backend="compiled")
+    assert interp.observable() == compiled.observable()
+    assert interp.cycles == compiled.cycles
+
+
+# ---------------------------------------------------------------------------
+# Error-path parity (message-for-message)
+# ---------------------------------------------------------------------------
+
+
+def _error_from(design, **kwargs):
+    with pytest.raises(SimulationError) as failure:
+        design.run(**kwargs)
+    return str(failure.value)
+
+
+def _design(source, flow="specc"):
+    from repro.flows import compile_flow
+
+    return compile_flow(source, flow=flow)
+
+
+def test_deadlock_message_identical():
+    source = """
+    chan<int> c;
+    int main() {
+        return recv(c);
+    }
+    """
+    design = _design(source)
+    interp = _error_from(design, sim_backend="interp")
+    compiled = _error_from(design, sim_backend="compiled")
+    assert interp == compiled
+    assert "rendezvous deadlock" in compiled
+
+
+def test_global_race_message_identical():
+    source = """
+    int shared = 0;
+    process void a() { shared = 1; }
+    process void b() { shared = 2; }
+    int main() { delay(4); return shared; }
+    """
+    design = _design(source)
+    interp = _error_from(design, sim_backend="interp")
+    compiled = _error_from(design, sim_backend="compiled")
+    assert interp == compiled
+    assert "written by" in compiled and "same cycle" in compiled
+
+
+def test_cycle_budget_message_identical():
+    source = "int main() { while (1) { } return 0; }"
+    design = _design(source, flow="c2verilog")
+    interp = _error_from(design, max_cycles=500, sim_backend="interp")
+    compiled = _error_from(design, max_cycles=500, sim_backend="compiled")
+    assert interp == compiled == "cycle budget of 500 exhausted"
+
+
+def test_unknown_backend_rejected():
+    design = _design("int main() { return 3; }", flow="c2verilog")
+    with pytest.raises(ValueError, match="unknown sim backend"):
+        design.run(sim_backend="jit")
+
+
+# ---------------------------------------------------------------------------
+# Compiled-plan cache and fast path
+# ---------------------------------------------------------------------------
+
+
+def test_plan_is_compiled_once_per_system():
+    design = _design("int main(int n) { return n + 1; }", flow="c2verilog")
+    system = design.system
+    plan = compile_system(system)
+    assert compile_system(system) is plan
+    assert plan.fast  # one machine, no channels: fast path engages
+    # The cached plan is reusable across runs with different arguments.
+    assert simulate(system, args=(4,), sim_backend="compiled").value == 5
+    assert simulate(system, args=(9,), sim_backend="compiled").value == 10
+    assert system._compiled_plan is plan
+
+
+def test_lone_machine_with_channels_uses_general_path():
+    system = _design("""
+    chan<int> c;
+    int main() { return recv(c); }
+    """).system
+    assert not compile_system(system).fast
+
+
+# ---------------------------------------------------------------------------
+# Profiler parity
+# ---------------------------------------------------------------------------
+
+
+def _profiled(source, backend, flow="specc", args=()):
+    profile = SimProfile()
+    result = run_flow(source, flow=flow, args=args, sim_backend=backend,
+                      sim_profile=profile)
+    return result, profile
+
+
+@pytest.mark.parametrize("source,flow,args", [
+    (_PRODUCER_CONSUMER, "specc", ()),
+    ("int main(int n) { int i; int s = 0; for (i = 0; i < n; i = i + 1)"
+     " { s = s + i; } return s; }", "c2verilog", (25,)),
+], ids=["rendezvous", "single-machine"])
+def test_profile_histograms_identical(source, flow, args):
+    interp_result, interp_profile = _profiled(source, "interp", flow, args)
+    compiled_result, compiled_profile = _profiled(source, "compiled", flow,
+                                                  args)
+    assert interp_result.observable() == compiled_result.observable()
+    assert interp_profile.backend == "interp"
+    assert compiled_profile.backend == "compiled"
+    assert interp_profile.cycles == compiled_profile.cycles > 0
+    assert interp_profile.state_visits == compiled_profile.state_visits
+    assert compiled_profile.compile_s >= 0.0
+    assert compiled_profile.execute_s > 0.0
+
+
+def test_profile_render_mentions_hot_states():
+    _, profile = _profiled(
+        "int main(int n) { int i; int s = 0; for (i = 0; i < n; i = i + 1)"
+        " { s = s + i; } return s; }", "compiled", "c2verilog", (25,))
+    text = profile.render()
+    assert "backend:" in text and "compiled" in text
+    assert "cycles/sec" in text
+    assert "hot states" in text
+
+
+# ---------------------------------------------------------------------------
+# Corpus replay and signature backend-independence
+# ---------------------------------------------------------------------------
+
+_corpus = Corpus(CORPUS_DIR)
+_entries = {entry.signature.id: entry for entry in _corpus.entries}
+
+
+@pytest.mark.parametrize("signature_id", sorted(_entries))
+def test_corpus_replays_under_compiled_backend(signature_id, engine):
+    """Every triaged divergence reproduces identically under the compiled
+    backend — fuzz findings are properties of the flows, not the engine."""
+    entry = _entries[signature_id]
+    reproduced, detail = replay_entry(entry, engine, sim_backend="compiled")
+    assert reproduced, (
+        f"{signature_id} reproduces under interp but not compiled: {detail}"
+    )
+
+
+def test_divergence_signatures_backend_independent(engine):
+    """Property check: re-judging every corpus program through both
+    backends yields identical verdicts, rules, and observables — so a
+    campaign's divergence signatures cannot depend on --sim-backend."""
+    for entry in _corpus.entries:
+        tasks = [
+            CellTask(workload=entry.signature.id, source=entry.source,
+                     flow=entry.flow, args=tuple(entry.args),
+                     sim_backend=backend)
+            for backend in ("interp", "compiled")
+        ]
+        interp, compiled = engine.run_cells(tasks)
+        assert _neutral_identity(interp) == _neutral_identity(compiled), (
+            f"{entry.signature.id}: signature depends on the backend"
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+def test_cli_run_with_compiled_backend_and_profile(tmp_path, capsys):
+    from repro.__main__ import main
+
+    path = tmp_path / "loop.c"
+    path.write_text(
+        "int main(int n) { int i; int s = 0;"
+        " for (i = 0; i < n; i = i + 1) { s = s + i; } return s; }"
+    )
+    assert main(["run", str(path), "--args", "10",
+                 "--sim-backend", "compiled", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "value      : 45" in out
+    assert "backend:" in out and "compiled" in out
+    assert "hot states" in out
+
+
+def test_cli_matrix_backends_agree(tmp_path, capsys):
+    from repro.__main__ import main
+
+    path = tmp_path / "gcd.c"
+    path.write_text(
+        "int main(int a, int b) { while (a != b) {"
+        " if (a > b) { a = a - b; } else { b = b - a; } } return a; }"
+    )
+    assert main(["matrix", str(path), "--args", "48,36", "--no-cache"]) == 0
+    interp_out = capsys.readouterr().out
+    assert main(["matrix", str(path), "--args", "48,36", "--no-cache",
+                 "--sim-backend", "compiled"]) == 0
+    compiled_out = capsys.readouterr().out
+    # Identical tables: same verdicts, values, cycles under both engines.
+    strip = "\n".join(
+        line for line in interp_out.splitlines() if "wall" not in line
+    )
+    strip_c = "\n".join(
+        line for line in compiled_out.splitlines() if "wall" not in line
+    )
+    assert _table_cells(strip) == _table_cells(strip_c)
+
+
+def _table_cells(text):
+    """(flow, verdict, value, cycles) rows from a matrix table."""
+    rows = []
+    for line in text.splitlines():
+        parts = line.split()
+        if parts and parts[0] in (
+            "cones", "hardwarec", "transmogrifier", "systemc", "c2verilog",
+            "cyber", "handelc", "specc", "bachc", "cash",
+        ):
+            rows.append(tuple(parts[:4]))
+    return rows
+
+
+def test_cache_keys_distinguish_backends(tmp_path):
+    """Both backends' artifacts coexist in one cache — the backend is part
+    of the content address."""
+    from repro.runner import ArtifactCache
+    from repro.runner.cache import cell_key
+
+    source = "int main() { return 41; }"
+    interp_task = CellTask(workload="w", source=source, flow="c2verilog")
+    compiled_task = CellTask(workload="w", source=source, flow="c2verilog",
+                             sim_backend="compiled")
+    assert cell_key(interp_task) != cell_key(compiled_task)
+
+    cache = ArtifactCache(tmp_path / "cache")
+    engine = MatrixEngine(jobs=1, cache=cache, timeout_s=30.0)
+    first = engine.run_cells([interp_task, compiled_task])
+    assert [r.cached for r in first] == [False, False]
+    second = engine.run_cells([interp_task, compiled_task])
+    assert [r.cached for r in second] == [True, True]
+    assert [r.sim_backend for r in second] == ["interp", "compiled"]
+    assert _neutral_identity(second[0]) == _neutral_identity(second[1])
