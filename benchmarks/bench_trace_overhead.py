@@ -1,0 +1,146 @@
+"""E16 — tracing overhead: off must be free, on must be cheap.
+
+The trace subsystem's contract (docs/observability.md) is that an
+untraced synthesis pays only the guarded no-op path: one ``ensure_trace``
+per entry point plus one shared :data:`~repro.trace.NO_TRACE` call per
+instrumentation point — no span objects, no string formatting, no
+allocation.  This experiment pins both sides of that contract:
+
+* **disabled** — the no-op path is microbenchmarked directly (a timing
+  diff between two identical pipelines would drown a sub-percent effect
+  in scheduler noise); its measured per-call cost times the number of
+  instrumentation points a traced run of the same program records must
+  stay under ``OFF_BUDGET`` of the untraced pipeline's wall time;
+* **enabled** — a fully traced synthesize+run+cost+emit, min-over-reps
+  against the untraced equivalent, must stay under ``ON_BUDGET``.
+
+The quick variant is the CI configuration; its table is uploaded as the
+``e16_trace_overhead_quick`` artifact by the bench-trace-overhead job.
+"""
+
+import time
+
+from repro.api import SynthesisOptions, synthesize
+from repro.report import format_table
+from repro.trace import NO_TRACE, ensure_trace
+
+OFF_BUDGET = 0.03    # disabled instrumentation: <3% of pipeline wall time
+ON_BUDGET = 0.15     # full tracing: <15% end-to-end
+
+KERNEL = """
+int main(int n) {
+    int i;
+    int acc = 1;
+    for (i = 0; i < n; i = i + 1) {
+        acc = (acc + i * i + (acc >> 3)) % 9973;
+    }
+    return acc;
+}
+"""
+
+FLOW = "c2verilog"
+
+
+def _pipeline(trace: bool, n: int) -> None:
+    result = synthesize(KERNEL, SynthesisOptions(flow=FLOW, trace=trace))
+    result.run(args=(n,))
+    result.cost()
+    result.verilog()
+
+
+def _timed(fn, reps: int) -> float:
+    """Minimum wall time over ``reps`` calls — the standard noise filter."""
+    best = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best_candidate = time.perf_counter() - start
+        best = best_candidate if best is None else min(best, best_candidate)
+    return best
+
+
+def _null_path_cost_s(calls: int = 200_000) -> float:
+    """Per-instrumentation-point cost of the disabled path: an
+    ``ensure_trace(None)`` resolve, a guarded ``enabled`` check, one
+    shared no-op span, and a no-op counter call."""
+    span = NO_TRACE.span
+    count = NO_TRACE.count
+    start = time.perf_counter()
+    for _ in range(calls):
+        t = ensure_trace(None)
+        if t.enabled:
+            count(ops=1)
+        with span("x", cat="phase"):
+            pass
+    return (time.perf_counter() - start) / calls
+
+
+def _instrumentation_points(n: int) -> int:
+    """How many guarded call sites one traced run of the kernel visits;
+    measured, not guessed, so the disabled-path bound tracks the real
+    pipeline as instrumentation is added."""
+    result = synthesize(KERNEL, SynthesisOptions(flow=FLOW, trace=True))
+    result.run(args=(n,))
+    result.cost()
+    result.verilog()
+    spans = result.trace.span_count()
+    counters = sum(1 for _, s in result.trace.spans() if s.args)
+    # Each span is at least one guarded site; counters are separate calls.
+    return spans + counters
+
+
+def _measure(n: int, reps: int):
+    untraced_s = _timed(lambda: _pipeline(False, n), reps)
+    traced_s = _timed(lambda: _pipeline(True, n), reps)
+    null_call_s = _null_path_cost_s()
+    points = _instrumentation_points(n)
+    off_overhead = (null_call_s * points) / untraced_s
+    on_overhead = traced_s / untraced_s - 1.0
+    rows = [
+        ["untraced pipeline", f"{untraced_s * 1e3:.2f} ms", "-"],
+        ["traced pipeline", f"{traced_s * 1e3:.2f} ms",
+         f"{max(on_overhead, 0.0) * 100:.1f}%"],
+        ["null path / call", f"{null_call_s * 1e9:.0f} ns",
+         f"x{points} sites"],
+        ["disabled instrumentation", f"{null_call_s * points * 1e6:.1f} us",
+         f"{off_overhead * 100:.3f}%"],
+    ]
+    return rows, off_overhead, on_overhead
+
+
+def _check_and_render(rows, off_overhead, on_overhead, title):
+    text = format_table(["measurement", "time", "overhead"], rows, title=title)
+    assert off_overhead < OFF_BUDGET, (
+        f"disabled tracing costs {off_overhead * 100:.2f}% of the pipeline "
+        f"(budget {OFF_BUDGET * 100:.0f}%)"
+    )
+    assert on_overhead < ON_BUDGET, (
+        f"enabled tracing costs {on_overhead * 100:.1f}% end-to-end "
+        f"(budget {ON_BUDGET * 100:.0f}%)"
+    )
+    return text
+
+
+def test_trace_overhead(benchmark, save_report):
+    rows, off, on = benchmark.pedantic(
+        _measure, args=(20_000, 5), rounds=1, iterations=1
+    )
+    text = _check_and_render(
+        rows, off, on,
+        f"E16: tracing overhead (n=20000, budgets "
+        f"{OFF_BUDGET * 100:.0f}% off / {ON_BUDGET * 100:.0f}% on)",
+    )
+    save_report("e16_trace_overhead", text)
+
+
+def test_trace_overhead_quick(benchmark, save_report):
+    """CI-sized variant: shorter kernel, fewer reps, same budgets."""
+    rows, off, on = benchmark.pedantic(
+        _measure, args=(4_000, 3), rounds=1, iterations=1
+    )
+    text = _check_and_render(
+        rows, off, on,
+        f"E16 (quick): tracing overhead (n=4000, budgets "
+        f"{OFF_BUDGET * 100:.0f}% off / {ON_BUDGET * 100:.0f}% on)",
+    )
+    save_report("e16_trace_overhead_quick", text)

@@ -4,7 +4,7 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import compile_flow
+from repro import SynthesisOptions, synthesize
 from repro.interp import run_source
 
 SOURCE = """
@@ -26,9 +26,9 @@ def main() -> None:
     print()
 
     for flow in ("handelc", "c2verilog", "cash"):
-        design = compile_flow(SOURCE, flow=flow)
-        result = design.run(args=ARGS)
-        cost = design.cost()
+        compiled = synthesize(SOURCE, SynthesisOptions(flow=flow))
+        result = compiled.run(args=ARGS)
+        cost = compiled.cost()
         assert result.value == golden.value
         timing = (
             f"{result.cycles} cycles @ {cost.clock_ns:.1f} ns"
@@ -40,7 +40,7 @@ def main() -> None:
 
     print()
     print("First 25 lines of the C2Verilog flow's Verilog:")
-    verilog = compile_flow(SOURCE, flow="c2verilog").verilog()
+    verilog = synthesize(SOURCE, SynthesisOptions(flow="c2verilog")).verilog()
     print("\n".join(verilog.splitlines()[:25]))
 
 

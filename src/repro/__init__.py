@@ -10,9 +10,15 @@ Bach C, CASH).
 
 Quickstart::
 
-    from repro import compile_flow, run_flow
-    result = run_flow("int main() { return 2 + 3; }", flow="handelc")
-    print(result.value, result.cycles)
+    from repro import SynthesisOptions, synthesize
+    result = synthesize("int main() { return 2 + 3; }",
+                        SynthesisOptions(flow="handelc"))
+    run = result.run()
+    print(run.value, run.cycles)
+
+Pass ``SynthesisOptions(..., trace=True)`` to record a per-phase trace of
+the whole pipeline (``result.trace.write_chrome("out.json")`` opens in
+Perfetto); see :mod:`repro.trace`.
 """
 
 from __future__ import annotations
@@ -22,20 +28,47 @@ __version__ = "1.0.0"
 from .lang import parse  # noqa: F401
 
 
+def synthesize(source, options=None, trace=None, **overrides):
+    """Parse, check, and compile ``source`` under one
+    :class:`~repro.api.SynthesisOptions` set; returns a
+    :class:`~repro.api.SynthesisResult`.  See :mod:`repro.api`."""
+    from .api import synthesize as _synthesize
+
+    return _synthesize(source, options, trace=trace, **overrides)
+
+
+def __getattr__(name):
+    # Lazy so `import repro` stays cheap; these are classes, not functions,
+    # so they cannot wrap a deferred import the way synthesize() does.
+    if name in ("SynthesisOptions", "SynthesisResult"):
+        from . import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 def compile_flow(source, flow="c2verilog", function="main", **options):
-    """Compile ``source`` with the named flow; returns a CompiledDesign.
-    See :mod:`repro.flows` for the flow registry."""
+    """Deprecated: use :func:`synthesize`.  Compiles ``source`` with the
+    named flow; returns a CompiledDesign.  See :mod:`repro.flows`."""
     from .flows import compile_flow as _compile_flow
 
     return _compile_flow(source, flow=flow, function=function, **options)
 
 
 def run_flow(source, args=(), flow="c2verilog", function="main", **options):
-    """Compile and simulate in one call; returns a FlowResult with the
-    value, cycle count, and cost-model timing.  See :mod:`repro.flows`."""
+    """Deprecated: use :func:`synthesize` and ``.run()``.  Compiles and
+    simulates in one call; returns a FlowResult.  See :mod:`repro.flows`."""
     from .flows import run_flow as _run_flow
 
     return _run_flow(source, args=args, flow=flow, function=function, **options)
 
 
-__all__ = ["compile_flow", "parse", "run_flow", "__version__"]
+__all__ = [
+    "SynthesisOptions",
+    "SynthesisResult",
+    "compile_flow",
+    "parse",
+    "run_flow",
+    "synthesize",
+    "__version__",
+]

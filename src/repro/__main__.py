@@ -2,18 +2,24 @@
 
 Commands
 --------
-``run FILE --flow KEY [--args N,N,...] [--sim-backend B] [--profile]``
+``run FILE --flow KEY [--args N,N,...] [--sim-backend B] [--profile]
+[--trace OUT.json]``
     Compile and simulate a program; prints value, cycles, cost, and
     (with ``--profile``) the simulation profile.  ``--sim-backend
     compiled`` specializes FSMD artifacts to closures before running.
+    ``--trace`` records every pipeline phase (parse through sim) and
+    writes a Chrome trace_event file for Perfetto.
 ``compile FILE --flow KEY [-o OUT.v]``
     Compile and emit Verilog.
-``matrix FILE [--args ...] [--lint] [--jobs N] [--cache-dir D | --no-cache]``
+``matrix FILE [--args ...] [--lint] [--jobs N] [--cache-dir D | --no-cache]
+[--trace-summary]``
     Run one program through every flow, printing the comparison table
     with per-cell wall-clock times.  ``--lint`` pre-flights each flow with
-    the linter and skips compiles the linter already rejects.  Exits
-    nonzero if any flow errors, times out, or mismatches the golden model
-    (historical rejections are expected and exit zero).
+    the linter and skips compiles the linter already rejects.
+    ``--trace-summary`` traces every cell and aggregates the per-flow,
+    per-phase wall-time table.  Exits nonzero if any flow errors, times
+    out, or mismatches the golden model (historical rejections are
+    expected and exit zero).
 ``sweep [--jobs N] [--cache-dir D | --no-cache] [--flows ...] [--workloads ...]``
     The full workload × flow matrix through the parallel runner with the
     content-addressed artifact cache; unchanged cells replay from disk.
@@ -45,8 +51,9 @@ from .flows import (
     COMPILABLE,
     REGISTRY,
     FlowError,
+    SynthesisOptions,
     UnsupportedFeature,
-    compile_flow,
+    synthesize,
     table1_rows,
 )
 from .report import format_cell_results, format_table
@@ -66,15 +73,23 @@ def _read(path: str) -> str:
 def cmd_run(options: argparse.Namespace) -> int:
     source = _read(options.file)
     args = _parse_args_list(options.args)
-    design = compile_flow(source, flow=options.flow, function=options.function)
+    compiled = synthesize(source, SynthesisOptions(
+        flow=options.flow, function=options.function,
+        sim_backend=options.sim_backend, trace=bool(options.trace),
+    ))
     profile = None
     if options.profile:
         from .sim import SimProfile
 
         profile = SimProfile()
-    result = design.run(args=args, sim_backend=options.sim_backend,
-                        sim_profile=profile)
-    cost = design.cost()
+    result = compiled.run(args=args, sim_profile=profile)
+    cost = compiled.cost()
+    if options.trace:
+        try:
+            compiled.verilog()
+        except (NotImplementedError, FlowError):
+            pass  # unemittable designs still get the rest of the trace
+        compiled.trace.write_chrome(options.trace)
     print(f"value      : {result.value}")
     if cost.clock_ns > 0:
         print(f"cycles     : {result.cycles}")
@@ -91,13 +106,18 @@ def cmd_run(options: argparse.Namespace) -> int:
     if profile is not None and profile.cycles:
         print()
         print(profile.render())
+    if options.trace:
+        spans = compiled.trace.span_count()
+        print(f"trace      : {options.trace} ({spans} spans)")
     return 0
 
 
 def cmd_compile(options: argparse.Namespace) -> int:
     source = _read(options.file)
-    design = compile_flow(source, flow=options.flow, function=options.function)
-    verilog = design.verilog()
+    compiled = synthesize(source, SynthesisOptions(
+        flow=options.flow, function=options.function,
+    ))
+    verilog = compiled.verilog()
     if options.output:
         with open(options.output, "w") as handle:
             handle.write(verilog + "\n")
@@ -158,6 +178,7 @@ def _make_engine(options: argparse.Namespace):
         jobs=getattr(options, "jobs", 1),
         cache=_make_cache(options),
         timeout_s=getattr(options, "timeout", None) or 60.0,
+        trace=getattr(options, "trace_summary", False),
     )
 
 
@@ -214,6 +235,11 @@ def cmd_matrix(options: argparse.Namespace) -> int:
                        sim_backend=options.sim_backend)
     results = engine.run_cells(tasks)
     print(format_cell_results(results + lint_cells, show_workload=False))
+    if options.trace_summary:
+        from .report import format_trace_summary
+
+        print()
+        print(format_trace_summary(results, title="phase wall time by flow"))
     _print_summary(results, engine)
     # Historical rejections are the paper working as documented; anything
     # else (error, timeout, golden-model mismatch) fails the run.
@@ -249,6 +275,11 @@ def cmd_sweep(options: argparse.Namespace) -> int:
         results,
         title=f"sweep: {len(results)} cells, jobs={engine.jobs}",
     ))
+    if options.trace_summary:
+        from .report import format_trace_summary
+
+        print()
+        print(format_trace_summary(results, title="phase wall time by flow"))
     _print_summary(results, engine)
     summary = summarize_cells(results)
     return 1 if summary["unexpected"] else 0
@@ -357,6 +388,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print the simulation profile (cycles/sec, hot states)",
     )
+    run_parser.add_argument(
+        "--trace", metavar="OUT.json",
+        help="record a phase trace of the whole pipeline and write it in"
+             " Chrome trace_event format (open in Perfetto/about:tracing)",
+    )
     run_parser.set_defaults(handler=cmd_run)
 
     compile_parser = sub.add_parser("compile", help="compile to Verilog")
@@ -381,6 +417,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("interp", "compiled"),
                        help="FSMD simulation engine for every cell"
                             " (default interp; part of the cache key)")
+        p.add_argument("--trace-summary", action="store_true",
+                       help="trace every cell and print the per-flow,"
+                            " per-phase wall-time table")
 
     matrix_parser = sub.add_parser("matrix", help="all flows on one program")
     matrix_parser.add_argument("file")

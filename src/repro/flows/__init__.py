@@ -17,6 +17,7 @@ cash      CASH (2002)                           compiler       asynchronous
 ========  ====================================  =============  ==========
 """
 
+from ..api import SynthesisOptions, SynthesisResult, synthesize
 from .base import (
     CompiledDesign,
     DesignCost,
@@ -37,6 +38,9 @@ from .registry import (
     table1_rows,
 )
 
+# The stable public surface.  ``synthesize``/``SynthesisOptions``/
+# ``SynthesisResult`` (from repro.api) are the supported entry points;
+# ``compile_flow``/``run_flow`` remain as deprecated shims.
 __all__ = [
     "COMPILABLE",
     "CompiledDesign",
@@ -48,10 +52,13 @@ __all__ = [
     "OcapiModule",
     "OcapiState",
     "REGISTRY",
+    "SynthesisOptions",
+    "SynthesisResult",
     "UnsupportedFeature",
     "compile_flow",
     "get_flow",
     "registry_fingerprint",
     "run_flow",
+    "synthesize",
     "table1_rows",
 ]

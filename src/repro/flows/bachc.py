@@ -14,7 +14,8 @@ from ..lang import ast_nodes as ast
 from ..lang.semantic import FEATURE_POINTERS, FEATURE_RECURSION, SemanticInfo
 from ..rtl.tech import DEFAULT_TECH, Technology
 from ..scheduling.resources import ResourceSet
-from .base import CompiledDesign, Flow, FlowMetadata, roots_of
+from ..trace import ensure_trace
+from .base import CompiledDesign, Flow, FlowMetadata, _roots_of
 from .scheduled import synthesize_fsmd_system
 
 
@@ -45,9 +46,13 @@ class BachCFlow(Flow):
         resources: ResourceSet = None,
         clock_ns: float = 5.0,
         tech: Technology = DEFAULT_TECH,
+        opt_level: int = 2,
+        trace=None,
         **options,
     ) -> CompiledDesign:
-        self.check_features(info, roots_of(program, function))
+        t = ensure_trace(trace)
+        with t.span("check", cat="phase"):
+            self.check_features(info, _roots_of(program, function))
         return synthesize_fsmd_system(
             program, info, function,
             flow_key=self.metadata.key,
@@ -56,4 +61,6 @@ class BachCFlow(Flow):
             tech=tech,
             scheduler="list",
             enforce_constraints=True,
+            opt_level=opt_level,
+            trace=trace,
         )

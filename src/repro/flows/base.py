@@ -22,10 +22,10 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.lint.diagnostics import FEATURE_TO_RULE
 from ..lang import ast_nodes as ast
-from ..lang import parse as parse_source
 from ..lang.errors import SourceLocation, UNKNOWN_LOCATION
 from ..lang.semantic import SemanticInfo
 from ..rtl.tech import DEFAULT_TECH, Technology
+from ..trace import ensure_trace
 
 
 class FlowError(Exception):
@@ -162,19 +162,22 @@ class CompiledDesign(abc.ABC):
         max_cycles: int = 2_000_000,
         sim_backend: str = "interp",
         sim_profile=None,
+        trace=None,
     ) -> FlowResult:
         """Simulate the hardware on concrete inputs.
 
         ``sim_backend`` selects the FSMD simulation engine ("interp" or
         "compiled"); artifacts without an FSMD (combinational netlists,
         dataflow) have a single engine and ignore it.  ``sim_profile``
-        takes a :class:`repro.sim.SimProfile` to fill in."""
+        takes a :class:`repro.sim.SimProfile` to fill in; ``trace`` a
+        :class:`repro.trace.TraceContext` that receives the ``sim`` span
+        (with the backend's compile/execute split as leaf spans)."""
 
     @abc.abstractmethod
-    def cost(self, tech: Technology = DEFAULT_TECH) -> DesignCost:
-        """Estimate area and timing."""
+    def cost(self, tech: Technology = DEFAULT_TECH, trace=None) -> DesignCost:
+        """Estimate area and timing (binding spans land in ``trace``)."""
 
-    def verilog(self) -> str:
+    def verilog(self, trace=None) -> str:
         """Verilog text for the artifact (flows override where supported)."""
         raise NotImplementedError(
             f"{self.flow_key} does not emit Verilog for this artifact"
@@ -203,10 +206,16 @@ class Flow(abc.ABC):
         """Synthesize ``function`` (plus any ``process`` functions)."""
 
     def compile_source(
-        self, source: str, function: str = "main", **options
+        self, source: str, function: str = "main", trace=None, **options
     ) -> CompiledDesign:
-        program, info = parse_source(source)
-        return self.compile(program, info, function, **options)
+        from ..lang import analyze, parse_program
+
+        t = ensure_trace(trace)
+        with t.span("parse", cat="phase"):
+            program = parse_program(source)
+        with t.span("semantic", cat="phase"):
+            info = analyze(program)
+        return self.compile(program, info, function, trace=trace, **options)
 
     def check_features(
         self,
@@ -237,8 +246,12 @@ class Flow(abc.ABC):
                 )
 
 
-def roots_of(program: ast.Program, function: str) -> List[str]:
+def _roots_of(program: ast.Program, function: str) -> List[str]:
     """The entry function plus every ``process`` (they run concurrently)."""
     roots = [function]
     roots += [p.name for p in program.processes if p.name != function]
     return roots
+
+
+#: Back-compat alias; the helper is flow-internal, use the underscore name.
+roots_of = _roots_of

@@ -26,7 +26,8 @@ from ..lang.semantic import (
 )
 from ..rtl.tech import DEFAULT_TECH, Technology
 from ..scheduling.resources import ResourceSet
-from .base import CompiledDesign, Flow, FlowMetadata, roots_of
+from ..trace import ensure_trace
+from .base import CompiledDesign, Flow, FlowMetadata, _roots_of
 from .scheduled import synthesize_fsmd_system
 
 
@@ -66,9 +67,13 @@ class C2VerilogFlow(Flow):
         pointer_analysis: bool = True,
         recursion_depth: int = 32,
         narrow: bool = False,
+        opt_level: int = 2,
+        trace=None,
         **options,
     ) -> CompiledDesign:
-        self.check_features(info, roots_of(program, function))
+        t = ensure_trace(trace)
+        with t.span("check", cat="phase"):
+            self.check_features(info, _roots_of(program, function))
         return synthesize_fsmd_system(
             program, info, function,
             flow_key=self.metadata.key,
@@ -80,4 +85,6 @@ class C2VerilogFlow(Flow):
             inline_max_depth=recursion_depth,
             enforce_constraints=False,
             narrow=narrow,
+            opt_level=opt_level,
+            trace=trace,
         )

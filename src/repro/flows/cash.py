@@ -41,6 +41,7 @@ from ..ir.passes.pipeline import optimize
 from ..rtl.tech import DEFAULT_TECH, Technology
 from ..scheduling.resources import op_area_ge
 from ..sim.async_sim import AsyncSimulator
+from ..trace import ensure_trace
 from .base import (
     CompiledDesign,
     DesignCost,
@@ -48,7 +49,7 @@ from .base import (
     FlowMetadata,
     FlowResult,
     UnsupportedFeature,
-    roots_of,
+    _roots_of,
 )
 
 _KEY = "cash"
@@ -101,15 +102,19 @@ class CashDesign(CompiledDesign):
         max_cycles: int = 2_000_000,
         sim_backend: str = "interp",
         sim_profile=None,
+        trace=None,
     ) -> FlowResult:
         # Token dataflow has one engine; sim_backend/sim_profile apply to
         # FSMD artifacts and are accepted for interface parity.
-        register_init, memory_init = self._initial_state()
-        sim = AsyncSimulator(
-            self.cdfg, args=args, register_init=register_init,
-            memory_init=memory_init, tech=self.tech, max_blocks=max_cycles,
-        )
-        result = sim.run()
+        t = ensure_trace(trace)
+        with t.span("sim", cat="phase"):
+            register_init, memory_init = self._initial_state()
+            sim = AsyncSimulator(
+                self.cdfg, args=args, register_init=register_init,
+                memory_init=memory_init, tech=self.tech, max_blocks=max_cycles,
+            )
+            result = sim.run()
+            t.count(ops_fired=result.ops_fired)
         flow_globals: Dict[str, object] = {}
         for symbol in self.cdfg.registers:
             if symbol.kind is SymbolKind.GLOBAL:
@@ -140,7 +145,14 @@ class CashDesign(CompiledDesign):
             },
         )
 
-    def cost(self, tech: Technology = DEFAULT_TECH) -> DesignCost:
+    def cost(self, tech: Technology = DEFAULT_TECH, trace=None) -> DesignCost:
+        t = ensure_trace(trace)
+        if t.enabled:
+            with t.span("bind", cat="phase"):
+                cost = self.cost(tech)
+                t.count(functional_units=cost.functional_units,
+                        registers=cost.registers)
+            return cost
         # Spatial computation: every static operation is a unit of its own.
         op_area = sum(op_area_ge(op, tech) for op in self.cdfg.iter_ops())
         edges = 0
@@ -197,21 +209,34 @@ class CashFlow(Flow):
         function: str = "main",
         tech: Technology = DEFAULT_TECH,
         pointer_analysis: bool = True,
+        opt_level: int = 2,
+        trace=None,
         **options,
     ) -> CompiledDesign:
-        self.check_features(info, roots_of(program, function))
-        if program.processes:
-            raise UnsupportedFeature(
-                _KEY,
-                "CASH compiles a single C program",
-                rule=RULE_PROCESS,
-                location=program.processes[0].location,
+        t = ensure_trace(trace)
+        with t.span("check", cat="phase"):
+            self.check_features(info, _roots_of(program, function))
+            if program.processes:
+                raise UnsupportedFeature(
+                    _KEY,
+                    "CASH compiles a single C program",
+                    rule=RULE_PROCESS,
+                    location=program.processes[0].location,
+                )
+        with t.span("inline", cat="phase"):
+            inlined, inline_stats = inline_program(
+                program, info, roots=[function]
             )
-        inlined, inline_stats = inline_program(program, info, roots=[function])
+            t.count(calls_inlined=inline_stats.calls_inlined)
         fn = inlined.function(function)
-        plan = plan_pointers(fn, enable_analysis=pointer_analysis)
-        cdfg = build_function(fn, info, plan)
-        optimize(cdfg)
+        with t.span("cdfg", cat="phase"):
+            with t.span("cdfg.pointer-plan", cat="analysis"):
+                plan = plan_pointers(fn, enable_analysis=pointer_analysis)
+            cdfg = build_function(fn, info, plan)
+            t.count(ops=cdfg.op_count())
+        with t.span("passes", cat="phase"):
+            optimize(cdfg, max_iterations={0: 0, 1: 1}.get(opt_level, 8),
+                     trace=trace)
         return CashDesign(
             name=function,
             cdfg=cdfg,

@@ -53,6 +53,7 @@ from ..ir.passes import inline_program, try_full_unroll
 from ..ir.passes.pipeline import optimize
 from ..rtl.combinational import CombinationalNetlist, evaluate
 from ..rtl.tech import DEFAULT_TECH, Technology
+from ..trace import ensure_trace
 from .base import (
     CompiledDesign,
     DesignCost,
@@ -61,7 +62,7 @@ from .base import (
     FlowMetadata,
     FlowResult,
     UnsupportedFeature,
-    roots_of,
+    _roots_of,
 )
 
 _KEY = "cones"
@@ -352,10 +353,13 @@ class ConesDesign(CompiledDesign):
 
     def run(self, args: Sequence[int] = (), process_args=None,
             max_cycles: int = 2_000_000, sim_backend: str = "interp",
-            sim_profile=None) -> FlowResult:
+            sim_profile=None, trace=None) -> FlowResult:
         # Combinational evaluation has one engine; sim_backend/sim_profile
         # apply to FSMD artifacts and are accepted for interface parity.
-        result = evaluate(self.netlist, args=args)
+        t = ensure_trace(trace)
+        with t.span("sim", cat="phase"):
+            result = evaluate(self.netlist, args=args)
+            t.count(ops=self.netlist.op_count)
         critical = self.netlist.critical_path_ns(self.tech)
         return FlowResult(
             value=result.value,
@@ -366,20 +370,28 @@ class ConesDesign(CompiledDesign):
                    **self.stats},
         )
 
-    def cost(self, tech: Technology = DEFAULT_TECH) -> DesignCost:
+    def cost(self, tech: Technology = DEFAULT_TECH, trace=None) -> DesignCost:
+        t = ensure_trace(trace)
+        with t.span("bind", cat="phase"):
+            area = self.netlist.area_ge(tech)
+            critical = self.netlist.critical_path_ns(tech)
+            t.count(functional_units=self.netlist.op_count)
         return DesignCost(
-            area_ge=self.netlist.area_ge(tech),
+            area_ge=area,
             clock_ns=0.0,
-            critical_path_ns=self.netlist.critical_path_ns(tech),
+            critical_path_ns=critical,
             states=0,
             registers=0,
             functional_units=self.netlist.op_count,
         )
 
-    def verilog(self) -> str:
+    def verilog(self, trace=None) -> str:
         from ..rtl.verilog import emit_combinational
 
-        return emit_combinational(self.netlist)
+        t = ensure_trace(trace)
+        with t.span("emit", cat="phase"):
+            text = emit_combinational(self.netlist, trace=trace)
+        return text
 
 
 class ConesFlow(Flow):
@@ -412,19 +424,30 @@ class ConesFlow(Flow):
         function: str = "main",
         tech: Technology = DEFAULT_TECH,
         max_unroll: int = 4096,
+        opt_level: int = 2,
+        trace=None,
         **options,
     ) -> CompiledDesign:
-        self.check_features(info, roots_of(program, function))
-        if program.processes:
-            raise UnsupportedFeature(
-                _KEY,
-                "Cones has no processes",
-                rule=RULE_PROCESS,
-                location=program.processes[0].location,
+        t = ensure_trace(trace)
+        with t.span("check", cat="phase"):
+            self.check_features(info, _roots_of(program, function))
+            if program.processes:
+                raise UnsupportedFeature(
+                    _KEY,
+                    "Cones has no processes",
+                    rule=RULE_PROCESS,
+                    location=program.processes[0].location,
+                )
+        with t.span("inline", cat="phase"):
+            inlined, inline_stats = inline_program(
+                program, info, roots=[function]
             )
-        inlined, inline_stats = inline_program(program, info, roots=[function])
-        fn = inlined.function(function)
-        fn, unrolled, resisted = try_full_unroll(fn, max_iterations=max_unroll)
+            fn = inlined.function(function)
+            fn, unrolled, resisted = try_full_unroll(
+                fn, max_iterations=max_unroll
+            )
+            t.count(calls_inlined=inline_stats.calls_inlined,
+                    loops_unrolled=unrolled)
         if resisted:
             raise FlowError(
                 _KEY,
@@ -432,10 +455,17 @@ class ConesFlow(Flow):
                 " evaluate; Cones unrolls every loop at compile time",
                 rule=RULE_UNBOUNDED_LOOP,
             )
-        plan = plan_pointers(fn)
-        cdfg = build_function(fn, info, plan)
-        optimize(cdfg)
-        netlist = _Flattener(cdfg, info.global_inits).flatten()
+        with t.span("cdfg", cat="phase"):
+            with t.span("cdfg.pointer-plan", cat="analysis"):
+                plan = plan_pointers(fn)
+            cdfg = build_function(fn, info, plan)
+            t.count(ops=cdfg.op_count())
+        with t.span("passes", cat="phase"):
+            optimize(cdfg, max_iterations={0: 0, 1: 1}.get(opt_level, 8),
+                     trace=trace)
+        with t.span("flatten", cat="phase"):
+            netlist = _Flattener(cdfg, info.global_inits).flatten()
+            t.count(netlist_ops=netlist.op_count)
         return ConesDesign(
             name=function,
             netlist=netlist,

@@ -50,12 +50,13 @@ from ..ir.ops import Const, Operand, Operation, OpKind, VReg, VarRead
 from ..ir.passes import inline_program
 from ..rtl.fsmd import CondNext, Done, FSMD, FSMDSystem, NextState, State
 from ..rtl.tech import DEFAULT_TECH, Technology
+from ..trace import ensure_trace
 from .base import (
     CompiledDesign,
     Flow,
     FlowMetadata,
     UnsupportedFeature,
-    roots_of,
+    _roots_of,
 )
 from .direct import DirectDesign
 
@@ -639,14 +640,24 @@ class HandelCFlow(Flow):
         info: SemanticInfo,
         function: str = "main",
         tech: Technology = DEFAULT_TECH,
+        opt_level: int = 2,
+        trace=None,
         **options,
     ) -> CompiledDesign:
-        roots = roots_of(program, function)
-        self.check_features(info, roots)
-        inlined, inline_stats = inline_program(program, info, roots=roots)
+        t = ensure_trace(trace)
+        roots = _roots_of(program, function)
+        with t.span("check", cat="phase"):
+            self.check_features(info, roots)
+        with t.span("inline", cat="phase"):
+            inlined, inline_stats = inline_program(program, info, roots=roots)
+            t.count(calls_inlined=inline_stats.calls_inlined)
         fsmds: List[FSMD] = []
-        for fn in inlined.functions:
-            fsmds.append(_HandelCBuilder(fn).build())
+        # Handel-C is syntax-directed: the AST maps straight to states, so
+        # the build step plays the cdfg+schedule phases in one.
+        with t.span("cdfg", cat="phase"):
+            for fn in inlined.functions:
+                fsmds.append(_HandelCBuilder(fn).build())
+            t.count(states=sum(f.n_states for f in fsmds))
         fsmds.sort(key=lambda f: 0 if f.name == function else 1)
         system = FSMDSystem(
             fsmds=fsmds,

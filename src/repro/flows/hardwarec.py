@@ -16,7 +16,8 @@ from ..lang import ast_nodes as ast
 from ..lang.semantic import FEATURE_POINTERS, FEATURE_RECURSION, SemanticInfo
 from ..rtl.tech import DEFAULT_TECH, Technology
 from ..scheduling.resources import ResourceSet
-from .base import CompiledDesign, Flow, FlowMetadata, roots_of
+from ..trace import ensure_trace
+from .base import CompiledDesign, Flow, FlowMetadata, _roots_of
 from .scheduled import synthesize_fsmd_system
 
 
@@ -47,9 +48,13 @@ class HardwareCFlow(Flow):
         resources: ResourceSet = None,
         clock_ns: float = 5.0,
         tech: Technology = DEFAULT_TECH,
+        opt_level: int = 2,
+        trace=None,
         **options,
     ) -> CompiledDesign:
-        self.check_features(info, roots_of(program, function))
+        t = ensure_trace(trace)
+        with t.span("check", cat="phase"):
+            self.check_features(info, _roots_of(program, function))
         return synthesize_fsmd_system(
             program, info, function,
             flow_key=self.metadata.key,
@@ -58,4 +63,6 @@ class HardwareCFlow(Flow):
             tech=tech,
             scheduler="list",
             enforce_constraints=True,
+            opt_level=opt_level,
+            trace=trace,
         )

@@ -22,7 +22,6 @@ from ..analysis.lint.rules import (
     UnboundedLatencyRule,
     ZeroTimeLoopRule,
 )
-from ..lang import parse as parse_source
 from .base import CompiledDesign, Flow, FlowError, FlowMetadata, FlowResult
 from .bachc import BachCFlow
 from .c2verilog import C2VerilogFlow
@@ -65,28 +64,63 @@ def get_flow(key: str) -> Flow:
 
 
 def compile_flow(
-    source: str, flow: str = "c2verilog", function: str = "main", **options
+    source: str, flow="c2verilog", function: str = "main", trace=None,
+    **options,
 ) -> CompiledDesign:
-    """Parse and synthesize ``source`` with the named flow."""
-    return get_flow(flow).compile_source(source, function=function, **options)
+    """Parse and synthesize ``source`` with the named flow.
+
+    Legacy shim: new code should use :func:`repro.api.synthesize`.
+    ``flow`` also accepts a :class:`repro.api.SynthesisOptions` (no
+    deprecation warning on that path); the string + ad-hoc keyword form
+    warns once per process."""
+    from ..api import SynthesisOptions, synthesize, warn_legacy
+
+    if isinstance(flow, SynthesisOptions):
+        chosen = SynthesisOptions.make(flow, **options) if options else flow
+        return synthesize(source, chosen, trace=trace).design
+    warn_legacy(
+        "compile_flow",
+        "use repro.api.synthesize(source, SynthesisOptions(flow=...))",
+    )
+    return synthesize(
+        source, flow=flow, function=function, trace=trace, **options
+    ).design
 
 
 def run_flow(
     source: str,
     args: Sequence[int] = (),
-    flow: str = "c2verilog",
+    flow="c2verilog",
     function: str = "main",
     process_args=None,
     max_cycles: int = 2_000_000,
     sim_backend: str = "interp",
     sim_profile=None,
+    trace=None,
     **options,
 ) -> FlowResult:
-    """Compile and simulate in one call."""
-    design = compile_flow(source, flow=flow, function=function, **options)
-    return design.run(
+    """Compile and simulate in one call.
+
+    Legacy shim over :func:`repro.api.synthesize` +
+    :meth:`repro.api.SynthesisResult.run`; same option handling as
+    :func:`compile_flow`."""
+    from ..api import SynthesisOptions, synthesize, warn_legacy
+
+    if isinstance(flow, SynthesisOptions):
+        chosen = SynthesisOptions.make(flow, **options) if options else flow
+        result = synthesize(source, chosen, trace=trace)
+    else:
+        warn_legacy(
+            "run_flow",
+            "use repro.api.synthesize(...).run(...)",
+        )
+        result = synthesize(
+            source, flow=flow, function=function, sim_backend=sim_backend,
+            trace=trace, **options,
+        )
+    return result.run(
         args=args, process_args=process_args, max_cycles=max_cycles,
-        sim_backend=sim_backend, sim_profile=sim_profile,
+        sim_profile=sim_profile,
     )
 
 

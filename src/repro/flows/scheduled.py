@@ -35,7 +35,9 @@ from ..scheduling.base import BlockSchedule, FunctionSchedule
 from ..scheduling.list_scheduler import list_schedule_function
 from ..scheduling.resources import ResourceSet, op_delay_ns
 from ..sim import simulate
-from .base import CompiledDesign, DesignCost, FlowResult, roots_of
+from ..sim.profile import SimProfile
+from ..trace import ensure_trace
+from .base import CompiledDesign, DesignCost, FlowResult, _roots_of
 
 
 def chain_schedule_function(
@@ -153,12 +155,26 @@ class FSMDDesign(CompiledDesign):
         max_cycles: int = 2_000_000,
         sim_backend: str = "interp",
         sim_profile=None,
+        trace=None,
     ) -> FlowResult:
-        sim = simulate(
-            self.system, args=args, process_args=process_args,
-            max_cycles=max_cycles, sim_backend=sim_backend,
-            profile=sim_profile,
-        )
+        t = ensure_trace(trace)
+        # When tracing, always collect a SimProfile so the backend's
+        # compile/execute split can be absorbed as leaf spans.
+        profile = sim_profile
+        if t.enabled and profile is None:
+            profile = SimProfile(backend=sim_backend)
+        with t.span("sim", cat="phase"):
+            sim = simulate(
+                self.system, args=args, process_args=process_args,
+                max_cycles=max_cycles, sim_backend=sim_backend,
+                profile=profile,
+            )
+            if t.enabled and profile is not None:
+                t.leaf("sim.compile", profile.compile_s, cat="sim")
+                t.leaf("sim.execute", profile.execute_s, cat="sim",
+                       cycles=profile.cycles)
+                t.count(backend=sim_backend, cycles=sim.cycles,
+                        stall_cycles=sim.stall_cycles)
         cost = self.cost(self.tech)
         return FlowResult(
             value=sim.value,
@@ -173,7 +189,8 @@ class FSMDDesign(CompiledDesign):
             },
         )
 
-    def cost(self, tech: Technology = DEFAULT_TECH) -> DesignCost:
+    def cost(self, tech: Technology = DEFAULT_TECH, trace=None) -> DesignCost:
+        t = ensure_trace(trace)
         total_area = 0.0
         clock = 0.0
         critical = 0.0
@@ -181,17 +198,25 @@ class FSMDDesign(CompiledDesign):
         registers = 0
         units = 0
         detail: Dict[str, float] = {}
-        for artifact in self.artifacts:
-            binding = bind_functional_units(artifact.schedule, tech)
-            allocation = allocate_registers(artifact.schedule)
-            cost = estimate_cost(artifact.schedule, binding, allocation, tech)
-            total_area += cost.total_area_ge
-            clock = max(clock, cost.clock_ns)
-            critical = max(critical, cost.critical_path_ns)
-            states += artifact.fsmd.n_states
-            registers += allocation.register_count()
-            units += len(binding.units)
-            detail[f"{artifact.fsmd.name}.area_ge"] = cost.total_area_ge
+        with t.span("bind", cat="phase"):
+            for artifact in self.artifacts:
+                with t.span("bind.fu", cat="bind"):
+                    binding = bind_functional_units(artifact.schedule, tech)
+                with t.span("bind.regalloc", cat="bind"):
+                    allocation = allocate_registers(artifact.schedule)
+                with t.span("bind.cost", cat="bind"):
+                    cost = estimate_cost(
+                        artifact.schedule, binding, allocation, tech
+                    )
+                total_area += cost.total_area_ge
+                clock = max(clock, cost.clock_ns)
+                critical = max(critical, cost.critical_path_ns)
+                states += artifact.fsmd.n_states
+                registers += allocation.register_count()
+                units += len(binding.units)
+                detail[f"{artifact.fsmd.name}.area_ge"] = cost.total_area_ge
+            t.count(states=states, registers=registers,
+                    functional_units=units)
         return DesignCost(
             area_ge=total_area,
             clock_ns=clock,
@@ -202,10 +227,14 @@ class FSMDDesign(CompiledDesign):
             detail=detail,
         )
 
-    def verilog(self) -> str:
+    def verilog(self, trace=None) -> str:
         from ..rtl.verilog import emit_fsmd_system
 
-        return emit_fsmd_system(self.system)
+        t = ensure_trace(trace)
+        with t.span("emit", cat="phase"):
+            text = emit_fsmd_system(self.system, trace=trace)
+            t.count(lines=text.count("\n"))
+        return text
 
 
 def synthesize_fsmd_system(
@@ -224,42 +253,64 @@ def synthesize_fsmd_system(
     enforce_constraints: bool = True,
     plan_override: Optional[Callable[[ast.FunctionDef], PointerPlan]] = None,
     narrow: bool = False,
+    opt_level: int = 2,
+    trace=None,
 ) -> FSMDDesign:
     """The common scheduled-flow pipeline:
 
     inline -> (per-flow AST transform) -> pointer plan -> CDFG -> optimize ->
     schedule (list or chain) -> FSMD, for the entry function and each
     ``process``.
+
+    ``opt_level`` sets IR optimization effort: 0 = none, 1 = one sweep,
+    2 = to a fixed point (the historical behaviour), >= 3 adds bit-width
+    narrowing.  ``trace`` receives one phase span per stage.
     """
-    roots = roots_of(program, function)
-    inlined, inline_stats = inline_program(
-        program, info, roots=roots, max_depth=inline_max_depth,
-        call_boundary=call_boundary,
-    )
+    t = ensure_trace(trace)
+    roots = _roots_of(program, function)
+    with t.span("inline", cat="phase"):
+        inlined, inline_stats = inline_program(
+            program, info, roots=roots, max_depth=inline_max_depth,
+            call_boundary=call_boundary,
+        )
+        t.count(calls_inlined=inline_stats.calls_inlined,
+                truncated=inline_stats.truncated_calls)
+    max_opt_iterations = {0: 0, 1: 1}.get(opt_level, 8)
+    narrow = narrow or opt_level >= 3
     artifacts: List[SynthesisArtifacts] = []
     memory_images = {}
     for fn in inlined.functions:
         if ast_transform is not None:
             fn = ast_transform(fn)
-        if plan_override is not None:
-            plan = plan_override(fn)
-        else:
-            plan = plan_pointers(fn, enable_analysis=pointer_analysis)
-        cdfg = build_function(fn, info, plan)
-        optimize(cdfg)
-        if narrow:
-            from ..ir.passes.narrow import narrow_widths
+        with t.span("cdfg", cat="phase"):
+            if plan_override is not None:
+                plan = plan_override(fn)
+            else:
+                with t.span("cdfg.pointer-plan", cat="analysis"):
+                    plan = plan_pointers(fn, enable_analysis=pointer_analysis)
+            cdfg = build_function(fn, info, plan)
+            t.count(ops=cdfg.op_count(), blocks=len(cdfg.blocks))
+        with t.span("passes", cat="phase"):
+            optimize(cdfg, max_iterations=max_opt_iterations, trace=trace)
+            if narrow:
+                from ..ir.passes.narrow import narrow_widths
 
-            narrow_widths(cdfg)
+                with t.span("pass.narrow", cat="pass"):
+                    narrow_widths(cdfg)
         if not enforce_constraints:
             cdfg.constraints = []
-        if scheduler == "chain":
-            schedule = chain_schedule_function(cdfg, tech, scheduler_name="chain")
-        else:
-            schedule = list_schedule_function(
-                cdfg, resources or ResourceSet.typical(), tech, clock_ns
-            )
-        fsmd = fsmd_from_schedule(schedule)
+        with t.span("schedule", cat="phase"):
+            if scheduler == "chain":
+                schedule = chain_schedule_function(
+                    cdfg, tech, scheduler_name="chain"
+                )
+            else:
+                schedule = list_schedule_function(
+                    cdfg, resources or ResourceSet.typical(), tech, clock_ns,
+                    trace=trace,
+                )
+            fsmd = fsmd_from_schedule(schedule)
+            t.count(scheduler=scheduler, states=fsmd.n_states)
         artifacts.append(
             SynthesisArtifacts(fsmd=fsmd, schedule=schedule, plan=plan, cdfg=cdfg)
         )

@@ -22,7 +22,8 @@ from ..lang import ast_nodes as ast
 from ..lang.semantic import FEATURE_RECURSION, SemanticInfo
 from ..rtl.tech import DEFAULT_TECH, Technology
 from ..scheduling.resources import ResourceSet
-from .base import CompiledDesign, Flow, FlowError, FlowMetadata, roots_of
+from ..trace import ensure_trace
+from .base import CompiledDesign, Flow, FlowError, FlowMetadata, _roots_of
 from .scheduled import synthesize_fsmd_system
 
 
@@ -53,9 +54,13 @@ class SpecCFlow(Flow):
         resources: ResourceSet = None,
         clock_ns: float = 5.0,
         tech: Technology = DEFAULT_TECH,
+        opt_level: int = 2,
+        trace=None,
         **options,
     ) -> CompiledDesign:
-        self.check_features(info, roots_of(program, function))
+        t = ensure_trace(trace)
+        with t.span("check", cat="phase"):
+            self.check_features(info, _roots_of(program, function))
         if refine == "specification":
             chosen = ResourceSet.unlimited()
         elif refine == "implementation":
@@ -74,6 +79,8 @@ class SpecCFlow(Flow):
             tech=tech,
             scheduler="list",
             enforce_constraints=True,
+            opt_level=opt_level,
+            trace=trace,
         )
         design.stats["refine"] = refine
         return design

@@ -28,7 +28,14 @@ from ..lang.semantic import (
     SemanticInfo,
 )
 from ..rtl.tech import DEFAULT_TECH, Technology
-from .base import CompiledDesign, Flow, FlowMetadata, UnsupportedFeature, roots_of
+from ..trace import ensure_trace
+from .base import (
+    CompiledDesign,
+    Flow,
+    FlowMetadata,
+    UnsupportedFeature,
+    _roots_of,
+)
 from .scheduled import synthesize_fsmd_system
 
 
@@ -80,9 +87,13 @@ class SystemCFlow(Flow):
         info: SemanticInfo,
         function: str = "main",
         tech: Technology = DEFAULT_TECH,
+        opt_level: int = 2,
+        trace=None,
         **options,
     ) -> CompiledDesign:
-        self.check_features(info, roots_of(program, function))
+        t = ensure_trace(trace)
+        with t.span("check", cat="phase"):
+            self.check_features(info, _roots_of(program, function))
         return synthesize_fsmd_system(
             program, info, function,
             flow_key=self.metadata.key,
@@ -90,4 +101,6 @@ class SystemCFlow(Flow):
             scheduler="chain",
             ast_transform=lambda fn: _check_waits_in_loops(fn, self.metadata.key),
             enforce_constraints=False,
+            opt_level=opt_level,
+            trace=trace,
         )

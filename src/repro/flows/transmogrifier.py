@@ -34,7 +34,8 @@ from ..lang.semantic import (
     SemanticInfo,
 )
 from ..rtl.tech import DEFAULT_TECH, Technology
-from .base import CompiledDesign, Flow, FlowMetadata, roots_of
+from ..trace import ensure_trace
+from .base import CompiledDesign, Flow, FlowMetadata, _roots_of
 from .scheduled import synthesize_fsmd_system
 
 
@@ -155,9 +156,13 @@ class TransmogrifierFlow(Flow):
         info: SemanticInfo,
         function: str = "main",
         tech: Technology = DEFAULT_TECH,
+        opt_level: int = 2,
+        trace=None,
         **options,
     ) -> CompiledDesign:
-        self.check_features(info, roots_of(program, function))
+        t = ensure_trace(trace)
+        with t.span("check", cat="phase"):
+            self.check_features(info, _roots_of(program, function))
         return synthesize_fsmd_system(
             program, info, function,
             flow_key=self.metadata.key,
@@ -166,4 +171,6 @@ class TransmogrifierFlow(Flow):
             call_boundary=True,
             ast_transform=_rotate_function,
             enforce_constraints=False,
+            opt_level=opt_level,
+            trace=trace,
         )

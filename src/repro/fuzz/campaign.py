@@ -358,6 +358,35 @@ def reduction_predicate(
     return predicate
 
 
+def attach_trace(
+    divergence: Divergence,
+    engine: Optional[MatrixEngine] = None,
+    sim_backend: str = "interp",
+) -> Divergence:
+    """Record the reproducer's pipeline shape on the divergence: the span
+    *structure* and counters of a traced re-run, never durations, so the
+    corpus entry minted from it is byte-identical across hosts and
+    re-runs.  Timeouts are skipped — re-running one only burns the
+    deadline again and its partial shape is not stable."""
+    from ..trace import counters_of, structure_of
+
+    if divergence.kind == KIND_TIMEOUT:
+        return divergence
+    engine = engine or MatrixEngine(jobs=1, cache=None, trace=True)
+    task = CellTask(
+        workload="trace", source=divergence.best_source,
+        flow=divergence.flow, args=divergence.args,
+        sim_backend=sim_backend,
+    )
+    result = engine.run_cells([task])[0]
+    if result.trace:
+        divergence.trace = {
+            "structure": structure_of(result.trace),
+            "counters": counters_of(result.trace),
+        }
+    return divergence
+
+
 def reduce_divergence(
     divergence: Divergence,
     engine: Optional[MatrixEngine] = None,
@@ -453,10 +482,16 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
         jobs=1, cache=None,
         timeout_s=config.timeout_s, max_cycles=config.max_cycles,
     )
+    trace_engine = MatrixEngine(
+        jobs=1, cache=None, trace=True,
+        timeout_s=config.timeout_s, max_cycles=config.max_cycles,
+    )
     for divergence in unique.values():
         if config.reduce:
             reduce_divergence(divergence, reducer_engine,
                               sim_backend=config.sim_backend)
+        attach_trace(divergence, trace_engine,
+                     sim_backend=config.sim_backend)
         report.divergences.append(divergence)
 
     corpus = Corpus(config.corpus_dir)

@@ -51,6 +51,9 @@ class CorpusEntry:
     mutation: str = ""
     original_source: str = ""     # metamorphic findings: pre-mutation program
     expect: Dict[str, object] = field(default_factory=dict)
+    # The reproducer's pipeline shape: span structure + counters, no
+    # durations (entries must stay deterministic across hosts).
+    trace: Dict[str, object] = field(default_factory=dict)
 
     @property
     def signature(self) -> Signature:
@@ -94,6 +97,7 @@ def entry_from_divergence(divergence: Divergence) -> CorpusEntry:
         mutation=divergence.mutation,
         original_source=divergence.original_source,
         expect=expect,
+        trace=dict(divergence.trace),
     )
 
 

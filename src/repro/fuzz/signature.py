@@ -78,6 +78,9 @@ class Divergence:
     original_source: str = ""         # metamorphic: the pre-mutation program
     reduced_source: Optional[str] = None
     extra: Dict[str, object] = field(default_factory=dict)
+    #: Deterministic phase trace of the reproducer — span *structure* and
+    #: counters only, never durations, so corpus entries stay byte-stable.
+    trace: Dict[str, object] = field(default_factory=dict)
 
     @property
     def best_source(self) -> str:

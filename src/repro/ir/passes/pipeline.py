@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from ...trace import ensure_trace
 from ..cdfg import FunctionCDFG, validate
 from .constfold import fold_constants
 from .cse import eliminate_common_subexpressions
@@ -31,29 +32,49 @@ class OptimizationReport:
         )
 
 
-def optimize(cdfg: FunctionCDFG, max_iterations: int = 8) -> OptimizationReport:
+def optimize(
+    cdfg: FunctionCDFG, max_iterations: int = 8, trace=None
+) -> OptimizationReport:
     """Run fold/CSE/DCE/simplify to a fixed point (bounded).
 
     The passes enable each other — folding exposes dead code, CFG merging
-    exposes CSE — so they loop until quiescent.
+    exposes CSE — so they loop until quiescent.  Per-pass spans (with the
+    op counts they changed) land in ``trace`` when one is supplied.
     """
+    t = ensure_trace(trace)
     report = OptimizationReport()
+    ops_in = cdfg.op_count() if t.enabled else 0
     for _ in range(max_iterations):
         report.iterations += 1
         changed = 0
-        folded = fold_constants(cdfg)
+        with t.span("pass.constfold", cat="pass"):
+            folded = fold_constants(cdfg)
+            t.count(folded=folded)
         report.constants_folded += folded
         changed += folded
-        merged = simplify_cfg(cdfg)
+        with t.span("pass.simplify_cfg", cat="pass"):
+            merged = simplify_cfg(cdfg)
+            t.count(cfg_changes=merged)
         report.cfg_changes += merged
         changed += merged
-        eliminated = eliminate_common_subexpressions(cdfg)
+        with t.span("pass.cse", cat="pass"):
+            eliminated = eliminate_common_subexpressions(cdfg)
+            t.count(eliminated=eliminated)
         report.subexpressions_eliminated += eliminated
         changed += eliminated
-        removed = eliminate_dead_code(cdfg)
+        with t.span("pass.dce", cat="pass"):
+            removed = eliminate_dead_code(cdfg)
+            t.count(removed=removed)
         report.dead_removed += removed
         changed += removed
         if not changed:
             break
-    validate(cdfg)
+    with t.span("pass.validate", cat="pass"):
+        validate(cdfg)
+    if t.enabled:
+        t.count(
+            iterations=report.iterations,
+            ops_in=ops_in,
+            ops_out=cdfg.op_count(),
+        )
     return report

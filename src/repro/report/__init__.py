@@ -5,6 +5,7 @@ from .tables import (
     format_dict,
     format_series,
     format_table,
+    format_trace_summary,
     summarize_cells,
 )
 
@@ -13,5 +14,6 @@ __all__ = [
     "format_dict",
     "format_series",
     "format_table",
+    "format_trace_summary",
     "summarize_cells",
 ]

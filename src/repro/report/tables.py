@@ -104,3 +104,35 @@ def format_dict(name: str, data: Dict[str, object]) -> str:
     for key, value in data.items():
         lines.append(f"  {key.ljust(width)}  {value}")
     return "\n".join(lines)
+
+
+def format_trace_summary(
+    results: Sequence, title: Optional[str] = None
+) -> str:
+    """Per-flow × per-phase wall-time table (milliseconds) aggregated from
+    each cell's trace (``repro matrix --trace-summary``).
+
+    Rows are flows, columns the canonical pipeline phases present in any
+    trace, plus a total; cells without traces contribute nothing (their
+    flow still appears, with dashes, so coverage gaps are visible)."""
+    from ..trace import merge_phase_totals, sorted_phases
+
+    by_flow: Dict[str, List[Optional[Dict[str, object]]]] = {}
+    for cell in results:
+        by_flow.setdefault(cell.flow, []).append(getattr(cell, "trace", None))
+    totals = {
+        flow: merge_phase_totals(traces) for flow, traces in by_flow.items()
+    }
+    phases = sorted_phases({p for t in totals.values() for p in t})
+    headers = ["flow"] + [f"{p}(ms)" for p in phases] + ["total(ms)", "cells"]
+    rows: List[List[object]] = []
+    for flow in sorted(by_flow):
+        phase_us = totals[flow]
+        row: List[object] = [flow]
+        for phase in phases:
+            value = phase_us.get(phase)
+            row.append(f"{value / 1000:.2f}" if value is not None else "-")
+        row.append(f"{sum(phase_us.values()) / 1000:.2f}")
+        row.append(len(by_flow[flow]))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

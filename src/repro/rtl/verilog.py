@@ -282,9 +282,13 @@ def _emit_arm(arm, printer: _ExprPrinter, state_bits: int, pad: str) -> List[str
     return _emit_transition(arm, printer, state_bits, pad)
 
 
-def emit_fsmd_system(system: FSMDSystem, top_name: str = "top") -> str:
+def emit_fsmd_system(system: FSMDSystem, top_name: str = "top",
+                     trace=None) -> str:
     """All machines of a system, plus a comment header describing the
     shared channels (the interconnect a system integrator would wire)."""
+    from ..trace import ensure_trace
+
+    t = ensure_trace(trace)
     parts = [
         "// Generated by repro — C-like hardware synthesis framework",
         f"// {len(system.fsmds)} machine(s);"
@@ -292,14 +296,26 @@ def emit_fsmd_system(system: FSMDSystem, top_name: str = "top") -> str:
         "",
     ]
     for fsmd in system.fsmds:
-        parts.append(emit_fsmd(fsmd))
+        if t.enabled:
+            with t.span(f"emit.{fsmd.name}", cat="module"):
+                text = emit_fsmd(fsmd)
+                t.count(states=fsmd.n_states)
+        else:
+            text = emit_fsmd(fsmd)
+        parts.append(text)
         parts.append("")
     return "\n".join(parts)
 
 
 def emit_combinational(netlist: CombinationalNetlist,
-                       module_name: Optional[str] = None) -> str:
+                       module_name: Optional[str] = None,
+                       trace=None) -> str:
     """A Cones netlist as a module of continuous assignments."""
+    if trace is not None and trace.enabled:
+        with trace.span(f"emit.{netlist.name}", cat="module"):
+            text = emit_combinational(netlist, module_name)
+            trace.count(ops=len(netlist.ops))
+        return text
     name = module_name or f"cones_{netlist.name}"
     lines: List[str] = []
     net = _Namer()

@@ -51,17 +51,17 @@ def normalized_source(source: str) -> str:
 def cell_key(task: CellTask, salt: str = "") -> str:
     """SHA-256 content address for one cell.
 
-    ``salt`` carries the environment part of the key (package version plus
-    registry fingerprint); the engine computes it once per run."""
+    The task half of the key is ``CellTask.identity()``, which derives
+    from ``SynthesisOptions.identity()`` — one definition of "what can
+    change a synthesis result", shared with the API facade, so the cache
+    key cannot drift from the real option set.  ``salt`` carries the
+    environment part (package version plus registry fingerprint); the
+    engine computes it once per run."""
     payload = json.dumps(
         {
             "schema": SCHEMA_VERSION,
             "source": normalized_source(task.source),
-            "flow": task.flow,
-            "function": task.function,
-            "args": list(task.args),
-            "options": [[k, repr(v)] for k, v in task.options],
-            "sim_backend": task.sim_backend,
+            "task": task.identity(),
             "salt": salt,
         },
         sort_keys=True,

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 # Bumped whenever the on-disk result layout changes; stale cache entries
 # are treated as misses rather than migrated.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 # Verdicts, from best to worst.
 OK = "ok"                # compiled, simulated, observables match the golden model
@@ -77,6 +77,50 @@ class CellTask:
     def make_options(options: Optional[Dict[str, object]]) -> Tuple:
         return tuple(sorted((options or {}).items()))
 
+    def synthesis_options(self):
+        """This task's option set as a :class:`repro.api.SynthesisOptions`.
+
+        ``opt_level`` rides inside the legacy ``options`` tuple for
+        constructor compatibility; here it is lifted into its proper
+        field and everything else becomes ``flow_options``."""
+        from ..api import SynthesisOptions
+
+        extra = self.options_dict()
+        opt_level = extra.pop("opt_level", 2)
+        return SynthesisOptions(
+            flow=self.flow,
+            function=self.function,
+            sim_backend=self.sim_backend,
+            opt_level=int(opt_level),  # type: ignore[arg-type]
+            flow_options=self.make_options(extra),
+        )
+
+    @classmethod
+    def from_options(cls, workload: str, source: str, options,
+                     args: Tuple[int, ...] = ()) -> "CellTask":
+        """Build a task from a :class:`repro.api.SynthesisOptions`."""
+        extra = dict(options.flow_options)
+        if options.opt_level != 2:
+            extra["opt_level"] = options.opt_level
+        return cls(
+            workload=workload,
+            source=source,
+            flow=options.flow,
+            function=options.function,
+            args=tuple(args),
+            options=cls.make_options(extra),
+            sim_backend=options.sim_backend,
+        )
+
+    def identity(self) -> Dict[str, object]:
+        """The JSON-stable content the cache key is built from.  Derived
+        from :meth:`SynthesisOptions.identity` so the cache key cannot
+        drift from the real option set (tracing is excluded there:
+        traced and untraced runs share artifacts)."""
+        identity = self.synthesis_options().identity()
+        identity["args"] = list(self.args)
+        return identity
+
 
 @dataclass
 class CellResult:
@@ -100,10 +144,15 @@ class CellResult:
     cache_key: str = ""
     wall_s: float = 0.0                # excluded from identity
     cached: bool = False               # excluded from identity
+    # Serialized TraceContext dict (``TraceContext.to_dict()``) when the
+    # cell ran with tracing; stored next to the cached artifact so warm
+    # runs still report where the time went when the cell was computed.
+    trace: Optional[Dict[str, object]] = None
 
     # Fields describing how the result was obtained rather than what it is
-    # (cache_key is empty when caching is off, so it is provenance too).
-    _PROVENANCE = ("wall_s", "cached", "cache_key")
+    # (cache_key is empty when caching is off, so it is provenance too;
+    # the trace records durations, which vary run to run).
+    _PROVENANCE = ("wall_s", "cached", "cache_key", "trace")
 
     @property
     def ok(self) -> bool:

@@ -85,10 +85,12 @@ def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
     ``payload`` carries the :class:`CellTask` fields plus ``expected`` (the
     golden model's canonical observable, or None when the reference
     interpreter could not run the program), ``timeout_s``, ``max_cycles``,
-    and ``cache_key``."""
+    ``cache_key``, and ``trace`` (record phase spans into the result)."""
     import hashlib
 
-    from ..flows import FlowError, get_flow
+    from ..api import synthesize
+    from ..flows import FlowError
+    from ..trace import TraceContext
 
     task = CellTask(
         workload=payload["workload"],
@@ -107,21 +109,23 @@ def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
         sim_backend=task.sim_backend,
         cache_key=str(payload.get("cache_key", "")),
     )
+    trace = None
+    if payload.get("trace"):
+        trace = TraceContext(name=f"{task.workload}:{task.flow}")
     expected = payload.get("expected")
     start = time.perf_counter()
     try:
         with _Deadline(float(payload.get("timeout_s", 0.0))):
-            design = get_flow(task.flow).compile_source(
-                task.source, function=task.function, **task.options_dict()
+            compiled = synthesize(
+                task.source, task.synthesis_options(), trace=trace
             )
-            run = design.run(
+            run = compiled.run(
                 args=task.args,
                 max_cycles=int(payload.get("max_cycles", DEFAULT_MAX_CYCLES)),
-                sim_backend=task.sim_backend,
             )
-            cost = design.cost()
+            cost = compiled.cost()
             try:
-                rtl = design.verilog()
+                rtl = compiled.verilog()
             except NotImplementedError:
                 rtl = ""
     except FlowError as rejection:
@@ -157,6 +161,10 @@ def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
             ]
         else:
             result.verdict = OK
+    if trace is not None:
+        # Rejections keep their partial trace too: the spans up to the
+        # rejecting phase show where the flow said no.
+        result.trace = trace.to_dict()
     result.wall_s = time.perf_counter() - start
     return result.to_dict()
 
@@ -189,6 +197,11 @@ class MatrixEngine:
     worker:
         The cell executor (module-level callable, dict→dict).  Tests
         substitute crashing/slow workers to exercise isolation paths.
+    trace:
+        Record phase spans for every cell.  Traces ride inside the
+        ``CellResult`` (and its cache entry), so a warm re-run still
+        reports where each cell's time went; a cache hit written
+        *without* a trace is treated as a miss so the stats exist.
     """
 
     def __init__(
@@ -198,12 +211,14 @@ class MatrixEngine:
         timeout_s: float = DEFAULT_TIMEOUT_S,
         max_cycles: int = DEFAULT_MAX_CYCLES,
         worker: Callable[[Dict[str, object]], Dict[str, object]] = execute_cell,
+        trace: bool = False,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.timeout_s = timeout_s
         self.max_cycles = max_cycles
         self.worker = worker
+        self.trace = bool(trace)
         self._salt = environment_salt()
         self._golden: Dict[Tuple[str, str, Tuple[int, ...]], Optional[list]] = {}
 
@@ -242,6 +257,7 @@ class MatrixEngine:
             "timeout_s": self.timeout_s,
             "max_cycles": self.max_cycles,
             "cache_key": key,
+            "trace": self.trace,
         }
 
     def run_cells(self, tasks: Sequence[CellTask]) -> List[CellResult]:
@@ -254,6 +270,11 @@ class MatrixEngine:
             if self.cache is not None:
                 start = time.perf_counter()
                 hit = self.cache.load(key)
+                # An entry written by an untraced run has no phase stats to
+                # report; when tracing, recompute it so the stored artifact
+                # gains a trace and later warm runs can replay it.
+                if hit is not None and self.trace and hit.trace is None:
+                    hit = None
                 if hit is not None:
                     hit.wall_s = time.perf_counter() - start
                     # The key excludes the display label (identical sources

@@ -55,10 +55,15 @@ def _distribution(
 
 
 def force_directed_schedule(
-    block: BasicBlock, length: Optional[int] = None
+    block: BasicBlock, length: Optional[int] = None, trace=None
 ) -> BlockSchedule:
     """Schedule ``block`` into ``length`` steps minimizing concurrency
     peaks.  Raises :class:`ScheduleError` if the length is infeasible."""
+    if trace is not None and trace.enabled:
+        with trace.span("schedule.force-directed", cat="scheduler"):
+            schedule = force_directed_schedule(block, length)
+            trace.count(ops=len(block.ops), steps=schedule.n_steps)
+        return schedule
     graph = build_dependence_graph(block)
     if length is None:
         length = unit_asap(block, graph).n_steps

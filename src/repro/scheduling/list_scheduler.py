@@ -302,15 +302,26 @@ def list_schedule_function(
     resources: Optional[ResourceSet] = None,
     tech: Technology = DEFAULT_TECH,
     clock_ns: float = 5.0,
+    trace=None,
 ) -> FunctionSchedule:
     """Schedule every reachable block of a function."""
+    from ..trace import ensure_trace
+
+    t = ensure_trace(trace)
     resources = resources or ResourceSet.unlimited()
     constraints = {c.group: c.cycles for c in cdfg.constraints}
     schedule = FunctionSchedule(
         cdfg=cdfg, clock_ns=clock_ns, scheduler="list", resources=resources
     )
+    blocks = 0
     for block in cdfg.reachable_blocks():
         schedule.blocks[block.id] = list_schedule_block(
             block, resources, tech, clock_ns, constraints
+        )
+        blocks += 1
+    if t.enabled:
+        t.count(
+            blocks_scheduled=blocks,
+            steps=sum(b.n_steps for b in schedule.blocks.values()),
         )
     return schedule

@@ -335,10 +335,20 @@ def modulo_schedule(
     block: BasicBlock,
     resources: Optional[ResourceSet] = None,
     max_ii_slack: int = 16,
+    trace=None,
 ) -> ModuloResult:
     """Pipeline one loop block; always returns a result (achieved_ii may be
     None when even II = MII + slack failed, meaning 'effectively
     unpipelineable')."""
+    if trace is not None and trace.enabled:
+        with trace.span("schedule.modulo", cat="scheduler"):
+            result = modulo_schedule(block, resources, max_ii_slack)
+            trace.count(
+                ops=result.op_count,
+                achieved_ii=result.achieved_ii or 0,
+                mii=max(result.res_mii, result.rec_mii, 1),
+            )
+        return result
     resources = resources or ResourceSet.typical()
     graph = build_dependence_graph(block)
     carried = loop_carried_dependences(block)

@@ -94,6 +94,38 @@ def test_flow_errors_pickle_roundtrip():
     assert isinstance(pickle.loads(pickle.dumps(FlowError("cash", "x"))), FlowError)
 
 
+def test_trace_pickle_roundtrip():
+    # Traced cells ship their TraceContext (and closed spans) back from
+    # pool workers; open spans cannot cross, closed trees must survive.
+    from repro.trace import Span, TraceContext
+
+    trace = TraceContext(name="w")
+    with trace.span("parse", cat="phase"):
+        with trace.span("tokens"):
+            trace.count(n=3)
+    clone = pickle.loads(pickle.dumps(trace))
+    assert isinstance(clone, TraceContext)
+    assert clone.name == "w"
+    assert clone.structure() == trace.structure()
+    assert clone.to_dict() == trace.to_dict()
+    [span] = trace.roots
+    span_clone = pickle.loads(pickle.dumps(span))
+    assert isinstance(span_clone, Span)
+    assert span_clone.to_dict() == span.to_dict()
+
+
+def test_traced_cell_crosses_process_pool():
+    tasks = [task(name="trace-pool")]
+    serial = MatrixEngine(jobs=1, trace=True).run_cells(tasks)
+    parallel = MatrixEngine(jobs=2, trace=True).run_cells(tasks)
+    from repro.trace import structure_of
+
+    assert serial[0].trace is not None
+    assert parallel[0].trace is not None
+    assert structure_of(serial[0].trace) == structure_of(parallel[0].trace)
+    assert [r.identity() for r in serial] == [r.identity() for r in parallel]
+
+
 # ---------------------------------------------------------------------------
 # Serial / parallel / cached identity
 # ---------------------------------------------------------------------------
