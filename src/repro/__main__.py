@@ -23,9 +23,16 @@ Commands
 ``sweep [--jobs N] [--cache-dir D | --no-cache] [--flows ...] [--workloads ...]``
     The full workload × flow matrix through the parallel runner with the
     content-addressed artifact cache; unchanged cells replay from disk.
-``lint FILE [--flow KEY | --all]``
+``lint FILE [--flow KEY | --all] [--format text|json]``
     Predict, per flow, what compile would reject — with rule ids, source
-    locations, and fix hints — without running any backend.
+    locations, and fix hints — without running any backend.  ``--format
+    json`` emits the machine-readable report (rule id, severity,
+    file:line:col, fix hint per diagnostic, verdict per flow).
+``check FILE [--flow KEY | --all] [--pipeline-ii N] [--format text|json]``
+    The time-sensitive tier: everything ``lint`` checks plus the TIM
+    rules — schedule-aware timing/resource obligations (within-budget
+    feasibility, rendezvous deadlock shape, lockstep ``par`` conflicts,
+    memory-port occupancy, pipeline II floors with ``--pipeline-ii``).
 ``fuzz [--flows ...] [--seeds N] [--seed-base N] [--time-budget S]
 [--jobs N] [--no-reduce] [--update-corpus] [--corpus-dir D]``
     Differential fuzz campaign: generate programs targeted at each flow's
@@ -127,40 +134,69 @@ def cmd_compile(options: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_lint(options: argparse.Namespace) -> int:
-    source = _read(options.file)
+def _selected_flows(options: argparse.Namespace) -> List[str]:
     if options.flow and not options.all:
-        selected = [options.flow]
-    else:
-        selected = list(COMPILABLE)
-    report = lint(source, flows=selected, function=options.function,
-                  filename=options.file)
+        return [options.flow]
+    return list(COMPILABLE)
 
-    summary: List[List[object]] = []
-    for key in selected:
-        errors = report.errors(key)
-        warnings = report.warnings(key)
-        if errors:
-            verdict = "reject"
-            first = f"{errors[0].rule}: {errors[0].message}"[:52]
-        elif warnings:
-            verdict = "warn"
-            first = f"{warnings[0].rule}: {warnings[0].message}"[:52]
-        else:
-            verdict = "clean"
-            first = ""
-        summary.append([key, verdict, len(errors), len(warnings), first])
-    print(format_table(
-        ["flow", "verdict", "errors", "warnings", "first diagnostic"],
-        summary,
-        title=f"lint: {options.file}",
-    ))
-    if report.diagnostics:
-        print()
-        print(report.render())
+
+def _print_report(report, selected, options, title: str) -> int:
+    """Shared lint/check output: a per-flow verdict table plus rendered
+    diagnostics, or the machine-readable JSON report with ``--format
+    json``.  Exit code is 1 when a single requested flow has errors."""
+    if getattr(options, "format", "text") == "json":
+        print(report.to_json())
+    else:
+        summary: List[List[object]] = []
+        for key in selected:
+            errors = report.errors(key)
+            warnings = report.warnings(key)
+            if errors:
+                verdict = "reject"
+                first = f"{errors[0].rule}: {errors[0].message}"[:52]
+            elif warnings:
+                verdict = "warn"
+                first = f"{warnings[0].rule}: {warnings[0].message}"[:52]
+            else:
+                verdict = "clean"
+                first = ""
+            summary.append([key, verdict, len(errors), len(warnings), first])
+        print(format_table(
+            ["flow", "verdict", "errors", "warnings", "first diagnostic"],
+            summary,
+            title=title,
+        ))
+        if report.diagnostics:
+            print()
+            print(report.render())
     if options.flow and not options.all:
         return 1 if report.errors(options.flow) else 0
     return 0
+
+
+def cmd_lint(options: argparse.Namespace) -> int:
+    source = _read(options.file)
+    selected = _selected_flows(options)
+    report = lint(source, flows=selected, function=options.function,
+                  filename=options.file)
+    return _print_report(report, selected, options,
+                         title=f"lint: {options.file}")
+
+
+def cmd_check(options: argparse.Namespace) -> int:
+    from .analysis.timing import CheckOptions, check
+
+    source = _read(options.file)
+    selected = _selected_flows(options)
+    check_options = CheckOptions(
+        pipeline_ii=options.pipeline_ii,
+        clock_budget_ns=options.clock_budget,
+        memory_ports=options.memory_ports,
+    )
+    report = check(source, flows=selected, function=options.function,
+                   filename=options.file, options=check_options)
+    return _print_report(report, selected, options,
+                         title=f"check: {options.file}")
 
 
 def _make_cache(options: argparse.Namespace):
@@ -215,17 +251,26 @@ def cmd_matrix(options: argparse.Namespace) -> int:
 
     selected = list(COMPILABLE)
     lint_cells = []
-    if options.lint:
+    if options.lint or options.check:
         from .runner import CellResult
 
-        report = lint(source, flows=selected, function=options.function,
-                      filename=options.file)
+        if options.check:
+            from .analysis.timing import check as run_check
+
+            label = "check:reject"
+            report = run_check(source, flows=selected,
+                               function=options.function,
+                               filename=options.file)
+        else:
+            label = "lint:reject"
+            report = lint(source, flows=selected, function=options.function,
+                          filename=options.file)
         for key in list(selected):
             if not report.is_clean(key):
                 first = report.errors(key)[0]
                 lint_cells.append(CellResult(
                     workload=options.file, flow=key, args=args,
-                    verdict="lint:reject",
+                    verdict=label,
                     diagnostics=[f"{first.rule}: {first.message}"],
                 ))
                 selected.remove(key)
@@ -429,6 +474,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--lint", action="store_true",
         help="pre-flight each flow with the linter; skip predicted rejects",
     )
+    matrix_parser.add_argument(
+        "--check", action="store_true",
+        help="pre-flight with the time-sensitive checker (lint + TIM"
+             " rules); skip flows whose obligations the schedule cannot"
+             " meet",
+    )
     add_runner_flags(matrix_parser)
     matrix_parser.set_defaults(handler=cmd_matrix)
 
@@ -454,7 +505,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint against every compilable flow (the default)",
     )
     lint_parser.add_argument("--function", default="main")
+    lint_parser.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="output format (json = machine-readable report)",
+    )
     lint_parser.set_defaults(handler=cmd_lint)
+
+    check_parser = sub.add_parser(
+        "check", help="lint plus schedule-aware timing/resource obligations"
+    )
+    check_parser.add_argument("file")
+    check_parser.add_argument("--flow", choices=sorted(COMPILABLE))
+    check_parser.add_argument(
+        "--all", action="store_true",
+        help="check against every compilable flow (the default)",
+    )
+    check_parser.add_argument("--function", default="main")
+    check_parser.add_argument(
+        "--pipeline-ii", type=int, metavar="N",
+        help="requested loop initiation interval; TIM301 checks it"
+             " against every pipelineable loop's MII floor",
+    )
+    check_parser.add_argument(
+        "--clock-budget", type=float, default=25.0, metavar="NS",
+        help="combinational budget per implicit cycle before TIM103"
+             " warns (default 25.0 ns)",
+    )
+    check_parser.add_argument(
+        "--memory-ports", type=int, default=1, metavar="N",
+        help="ports per RAM the TIM302 occupancy check assumes (default 1)",
+    )
+    check_parser.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="output format (json = machine-readable report)",
+    )
+    check_parser.set_defaults(handler=cmd_check)
 
     fuzz_parser = sub.add_parser(
         "fuzz", help="differential fuzz campaign over the flow matrix"

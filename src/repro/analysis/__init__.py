@@ -19,6 +19,19 @@ from .pointer import PointerPlan, PointerStats, plan_pointers
 # resolves to the subpackage, whose ``lint()`` function is the entry point.
 _LINT_EXPORTS = ("Diagnostic", "LintReport", "Severity", "lint", "lint_file")
 
+# The time-sensitive tier compiles through the flows, so it is lazy too;
+# ``timing`` resolves to the subpackage, the rest to its entry points.
+_TIMING_EXPORTS = (
+    "CheckOptions",
+    "CheckRejected",
+    "TimingObligations",
+    "check",
+    "check_file",
+    "enforce",
+    "obligations_for",
+    "timing",
+)
+
 
 def __getattr__(name: str):
     if name in _LINT_EXPORTS:
@@ -28,15 +41,30 @@ def __getattr__(name: str):
         if name == "lint":
             return module
         return getattr(module, name)
+    if name in _TIMING_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(".timing", __name__)
+        if name == "timing":
+            return module
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
+    "CheckOptions",
+    "CheckRejected",
     "Diagnostic",
     "LintReport",
     "Severity",
+    "TimingObligations",
+    "check",
+    "check_file",
+    "enforce",
     "lint",
     "lint_file",
+    "obligations_for",
+    "timing",
     "BlockDependenceStats",
     "CallGraph",
     "ILPProfile",

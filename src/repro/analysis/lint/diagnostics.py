@@ -17,6 +17,17 @@ Severity semantics are load-bearing:
 
 Rule ids are grouped by layer: ``SYN1xx`` are AST/feature rules, ``SYN2xx``
 are CDFG-level rules, ``SYN3xx`` are frontend failures.
+
+The time-sensitive checking tier (:mod:`repro.analysis.timing`) adds the
+``TIM`` families on top: ``TIM1xx`` timing obligations (fixed-latency
+contexts), ``TIM2xx`` concurrency obligations (rendezvous legality,
+same-cycle conflicts under ``par``), ``TIM3xx`` resource obligations
+(memory ports, initiation intervals).  A ``TIM`` **ERROR** means the flow's
+schedule cannot meet (or cannot even state) the obligation; unlike ``SYN``
+errors it does not always predict a compile-time rejection — some violations
+compile into hardware that is unrealizable or deadlocks, which is exactly
+the paper's point.  Each TIM rule documents which observable outcome
+validates it (see ``TIM_VALIDATES``).
 """
 
 from __future__ import annotations
@@ -57,6 +68,26 @@ RULE_SHARED_RACE = "SYN202-shared-race"
 RULE_PARSE = "SYN301-parse"
 RULE_INTERNAL = "SYN999-internal"
 
+# Time-sensitive checking tier (repro.analysis.timing).  Stable ids, same
+# contract as SYN ids: tests, corpus entries, and CLI output all key on them.
+RULE_TIM_UNBOUNDED_IN_WITHIN = "TIM101-unbounded-in-within"
+RULE_TIM_WITHIN_INFEASIBLE = "TIM102-within-infeasible"
+RULE_TIM_CYCLE_BUDGET = "TIM103-cycle-budget"
+RULE_TIM_RENDEZVOUS = "TIM201-rendezvous"
+RULE_TIM_PAR_SHARED_CYCLE = "TIM202-par-shared-cycle"
+RULE_TIM_II_CONFLICT = "TIM301-ii-port-conflict"
+RULE_TIM_PORT_OVERSUBSCRIBED = "TIM302-port-oversubscribed"
+
+TIM_RULES = (
+    RULE_TIM_UNBOUNDED_IN_WITHIN,
+    RULE_TIM_WITHIN_INFEASIBLE,
+    RULE_TIM_CYCLE_BUDGET,
+    RULE_TIM_RENDEZVOUS,
+    RULE_TIM_PAR_SHARED_CYCLE,
+    RULE_TIM_II_CONFLICT,
+    RULE_TIM_PORT_OVERSUBSCRIBED,
+)
+
 # Language features (as recorded by semantic analysis) that map one-to-one
 # onto rejection rules.  ``Flow.check_features`` and the linter's FeatureRule
 # both read this table, so the exception a flow raises and the diagnostic the
@@ -89,6 +120,45 @@ RULE_DOCS: Dict[str, str] = {
     RULE_SHARED_RACE: "processes share a variable without a channel",
     RULE_PARSE: "source does not parse or type-check",
     RULE_INTERNAL: "linter rule crashed; prediction incomplete",
+    RULE_TIM_UNBOUNDED_IN_WITHIN:
+        "rendezvous inside a within block: fixed-cycle budget over an"
+        " unbounded-latency operation",
+    RULE_TIM_WITHIN_INFEASIBLE:
+        "within budget smaller than any feasible schedule of its body",
+    RULE_TIM_CYCLE_BUDGET:
+        "single-cycle statement implies a combinational path beyond the"
+        " clock budget",
+    RULE_TIM_RENDEZVOUS:
+        "rendezvous channel with a missing or self-paired endpoint:"
+        " guaranteed deadlock",
+    RULE_TIM_PAR_SHARED_CYCLE:
+        "par lockstep merge puts conflicting accesses to one memory in the"
+        " same cycle",
+    RULE_TIM_II_CONFLICT:
+        "requested initiation interval below the loop's resource/recurrence"
+        " minimum",
+    RULE_TIM_PORT_OVERSUBSCRIBED:
+        "one cycle needs more memory ports than the RAM has",
+}
+
+# What observable outcome validates each TIM error (the cross-validation
+# harness asserts these; docs/timing.md documents them per flow).
+TIM_VALIDATES: Dict[str, str] = {
+    RULE_TIM_UNBOUNDED_IN_WITHIN:
+        "the compiled schedule carries a SEND/RECV inside a constraint group",
+    RULE_TIM_WITHIN_INFEASIBLE:
+        "compile rejects with the same rule id (TimingInfeasible)",
+    RULE_TIM_CYCLE_BUDGET:
+        "estimated combinational delay of the statement exceeds the budget",
+    RULE_TIM_RENDEZVOUS:
+        "simulation raises a rendezvous-deadlock error",
+    RULE_TIM_PAR_SHARED_CYCLE:
+        "a compiled FSMD state holds >=2 accesses to one memory, one a write,"
+        " from different par branches",
+    RULE_TIM_II_CONFLICT:
+        "modulo scheduling reports MII above the requested II",
+    RULE_TIM_PORT_OVERSUBSCRIBED:
+        "a compiled FSMD state's measured port occupancy exceeds the RAM's",
 }
 
 # Diagnostics with this flow key apply to every flow (frontend failures).
@@ -117,6 +187,32 @@ class Diagnostic:
 
     def applies_to(self, flow: str) -> bool:
         return self.flow == flow or self.flow == ALL_FLOWS
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form (``repro lint/check --format json``)."""
+        return {
+            "flow": self.flow,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "file": self.location.filename,
+            "line": self.location.line,
+            "column": self.location.column,
+            "hint": self.hint,
+        }
+
+    def sort_key(self) -> tuple:
+        """Deterministic (location, rule id) ordering: reports must be
+        byte-stable across runs and hash-cacheable."""
+        return (
+            self.location.filename,
+            self.location.line,
+            self.location.column,
+            self.rule,
+            self.flow,
+            self.severity.rank,
+            self.message,
+        )
 
     def __str__(self) -> str:
         text = (
@@ -165,16 +261,25 @@ class LintReport:
         }
 
     def sorted(self) -> List[Diagnostic]:
-        return sorted(
-            self.diagnostics,
-            key=lambda d: (
-                d.flow,
-                d.severity.rank,
-                d.location.line,
-                d.location.column,
-                d.rule,
-            ),
-        )
+        return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The whole report, JSON-ready and deterministically ordered."""
+        return {
+            "filename": self.filename,
+            "flows": list(self.flows),
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+            "verdicts": {
+                flow: ("reject" if not self.is_clean(flow)
+                       else "warn" if self.warnings(flow) else "clean")
+                for flow in self.flows
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def render(self) -> str:
         """Plain-text listing, grouped by flow, for terminals and tests."""

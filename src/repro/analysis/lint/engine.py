@@ -10,7 +10,7 @@ never hides the others.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ...lang.errors import FrontendError, UNKNOWN_LOCATION
 from .diagnostics import (
@@ -55,9 +55,15 @@ def lint(
     flows: Optional[Sequence[str]] = None,
     function: str = "main",
     filename: str = "<input>",
+    extra_rules: Optional[Callable[[str], Sequence]] = None,
 ) -> LintReport:
     """Lint ``source`` for one flow, an explicit list, or (default) every
-    compilable flow in the registry."""
+    compilable flow in the registry.
+
+    ``extra_rules`` maps a flow key to additional :class:`Rule` instances to
+    run after the registry's set — how the time-sensitive checking tier
+    (``repro.analysis.timing.check``) layers TIM rules onto the same engine,
+    context caches, and crash isolation."""
     # Imported lazily: flows.base imports this package for the shared
     # rule-id table, so a module-level import would be a cycle.
     from ...flows import registry
@@ -94,7 +100,10 @@ def lint(
 
     ctx = LintContext(program, info, function=function, filename=filename)
     for key in selected:
-        for rule in registry.lint_rules(key):
+        rules = list(registry.lint_rules(key))
+        if extra_rules is not None:
+            rules.extend(extra_rules(key))
+        for rule in rules:
             if rule.requires_inline and ctx.has_recursion:
                 # Inlining would not terminate; the recursion feature rule
                 # carries the rejection for every flow that has one.

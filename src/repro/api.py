@@ -33,7 +33,9 @@ from .trace import TraceContext, ensure_trace
 
 #: kwargs of the legacy signatures that map onto SynthesisOptions fields
 #: rather than flow-specific compile options.
-_FIELD_KWARGS = ("flow", "function", "sim_backend", "opt_level", "trace", "tech")
+_FIELD_KWARGS = (
+    "flow", "function", "sim_backend", "opt_level", "trace", "tech", "check",
+)
 
 # Single-warning policy: each legacy entry point warns at most once per
 # process, so a sweep over ten thousand cells nags exactly once.
@@ -81,6 +83,13 @@ class SynthesisOptions:
         Excluded from :meth:`identity`: tracing observes, never steers.
     tech:
         Technology model override (None = the flow's default).
+    check:
+        Run the time-sensitive checker (``repro.analysis.timing``)
+        before compiling; a program whose obligations the flow's
+        schedule cannot meet raises
+        :class:`~repro.analysis.timing.CheckRejected` (a
+        :class:`~repro.flows.base.FlowError`, so matrix cells classify
+        it as a rejection with the TIM rule id attached).
     flow_options:
         Extra per-flow compile kwargs as a sorted tuple of pairs, so the
         options object stays frozen and its identity order-independent.
@@ -92,6 +101,7 @@ class SynthesisOptions:
     opt_level: int = 2
     trace: bool = False
     tech: Optional[Technology] = None
+    check: bool = False
     flow_options: Tuple[Tuple[str, object], ...] = ()
 
     @classmethod
@@ -134,6 +144,7 @@ class SynthesisOptions:
             "sim_backend": self.sim_backend,
             "opt_level": self.opt_level,
             "tech": self.tech.name if self.tech is not None else "",
+            "check": self.check,
             "options": [[k, repr(v)] for k, v in self.flow_options],
         }
 
@@ -203,6 +214,11 @@ def synthesize(
         trace = TraceContext(name=f"{options.flow}:{options.function}")
     t = ensure_trace(trace)
     flow = get_flow(options.flow)
+    if options.check:
+        from .analysis.timing import enforce
+
+        with t.span("check", cat="phase"):
+            enforce(source, options.flow, function=options.function)
     with t.span("parse", cat="phase"):
         program = parse_program(source)
         if t.enabled:

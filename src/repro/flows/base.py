@@ -20,7 +20,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..analysis.lint.diagnostics import FEATURE_TO_RULE
+from ..analysis.lint.diagnostics import FEATURE_TO_RULE, RULE_TIM_WITHIN_INFEASIBLE
 from ..lang import ast_nodes as ast
 from ..lang.errors import SourceLocation, UNKNOWN_LOCATION
 from ..lang.semantic import SemanticInfo
@@ -67,6 +67,30 @@ class FlowError(Exception):
 
 class UnsupportedFeature(FlowError):
     """The historical tool this flow models did not support the feature."""
+
+
+# Safe to import here: the ``analysis`` import above already pulled in the
+# scheduling package (analysis.dependence builds on it), so no cycle.
+from ..scheduling.base import ConstraintInfeasible  # noqa: E402
+
+
+class TimingInfeasible(FlowError, ConstraintInfeasible):
+    """A ``within`` budget no schedule can meet.
+
+    Dual-natured on purpose: a :class:`ConstraintInfeasible` (the
+    scheduler's own exception, asserted by scheduling tests) *and* a
+    :class:`FlowError` carrying ``rule=TIM102-within-infeasible`` — so the
+    matrix engine classifies the cell as a rule-predicted rejection and the
+    time-sensitive checker's verdict can be cross-validated against it."""
+
+    def __init__(
+        self,
+        flow: str,
+        message: str,
+        rule: str = RULE_TIM_WITHIN_INFEASIBLE,
+        location: Optional[SourceLocation] = None,
+    ):
+        FlowError.__init__(self, flow, message, rule=rule, location=location)
 
 
 @dataclass(frozen=True)

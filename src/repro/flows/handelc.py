@@ -114,6 +114,13 @@ class _HandelCBuilder:
     def __init__(self, fn: ast.FunctionDef):
         self.fn = fn
         self.loop_stack: List[Tuple[_Join, _Node]] = []  # (break join, continue node)
+        # Lockstep ``par`` merges that put accesses to one memory — at least
+        # one a write — from *different* branches into the same cycle.  The
+        # frontend already rejects write-write races on whole variables, but
+        # write-read array overlap slips through and contends for the RAM
+        # port; the TIM202 checker rule predicts exactly this count.
+        self.par_memory_conflicts = 0
+        self.par_conflict_sites: List[SourceLocation] = []
 
     # -- expression lowering -------------------------------------------------
 
@@ -174,7 +181,7 @@ class _HandelCBuilder:
             assert expr.type is not None
             dest = VReg(expr.type)
             ops.append(Operation(kind=OpKind.LOAD, dest=dest, operands=[index],
-                                 array=array))
+                                 array=array, location=expr.location))
             return dest
         if isinstance(expr, ast.Receive):
             raise UnsupportedFeature(
@@ -216,7 +223,8 @@ class _HandelCBuilder:
                 channel: Symbol = stmt.expr.symbol  # type: ignore[attr-defined]
                 dest = VReg(channel.type.element)  # type: ignore[union-attr]
                 action.ops.append(
-                    Operation(kind=OpKind.RECV, dest=dest, channel=channel)
+                    Operation(kind=OpKind.RECV, dest=dest, channel=channel,
+                              location=stmt.location)
                 )
                 return self._action_fragment(action)
             return self._empty_fragment()  # pure expressions cost nothing
@@ -305,7 +313,8 @@ class _HandelCBuilder:
             channel: Symbol = stmt.symbol  # type: ignore[attr-defined]
             value = self._lower(stmt.value, action.ops)
             action.ops.append(
-                Operation(kind=OpKind.SEND, operands=[value], channel=channel)
+                Operation(kind=OpKind.SEND, operands=[value], channel=channel,
+                          location=stmt.location)
             )
             return self._action_fragment(action)
         if isinstance(stmt, ast.Within):
@@ -345,7 +354,7 @@ class _HandelCBuilder:
                 action.ops.append(
                     Operation(kind=OpKind.STORE,
                               operands=[Const(i, _index_type()), value],
-                              array=symbol)
+                              array=symbol, location=decl.location)
                 )
                 fragments.append(self._action_fragment(action))
             return self._sequence(fragments)
@@ -356,7 +365,8 @@ class _HandelCBuilder:
             channel: Symbol = decl.init.symbol  # type: ignore[attr-defined]
             value: Operand = VReg(channel.type.element)  # type: ignore[union-attr]
             action.ops.append(
-                Operation(kind=OpKind.RECV, dest=value, channel=channel)
+                Operation(kind=OpKind.RECV, dest=value, channel=channel,
+                          location=decl.location)
             )
         else:
             value = self._lower(decl.init, action.ops)
@@ -371,7 +381,8 @@ class _HandelCBuilder:
                 channel: Symbol = assign.value.symbol  # type: ignore[attr-defined]
                 dest = VReg(channel.type.element)  # type: ignore[union-attr]
                 action.ops.append(
-                    Operation(kind=OpKind.RECV, dest=dest, channel=channel)
+                    Operation(kind=OpKind.RECV, dest=dest, channel=channel,
+                              location=assign.location)
                 )
                 action.latches[symbol] = dest
             else:
@@ -390,7 +401,8 @@ class _HandelCBuilder:
                 channel = assign.value.symbol  # type: ignore[attr-defined]
                 value: Operand = VReg(channel.type.element)  # type: ignore[union-attr]
                 action.ops.append(
-                    Operation(kind=OpKind.RECV, dest=value, channel=channel)
+                    Operation(kind=OpKind.RECV, dest=value, channel=channel,
+                              location=assign.location)
                 )
             else:
                 value = self._lower(assign.value, action.ops)
@@ -402,7 +414,8 @@ class _HandelCBuilder:
                 )
                 value = cast
             action.ops.append(
-                Operation(kind=OpKind.STORE, operands=[index, value], array=array)
+                Operation(kind=OpKind.STORE, operands=[index, value],
+                          array=array, location=assign.location)
             )
             return self._action_fragment(action)
         raise UnsupportedFeature(
@@ -422,7 +435,9 @@ class _HandelCBuilder:
         while any(pending):
             combined = _Action()
             used_channel = False
-            for queue in pending:
+            # array -> [(branch index, is_write, op location)] this cycle.
+            cycle_memory: Dict[Symbol, List[Tuple[int, bool, object]]] = {}
+            for branch_index, queue in enumerate(pending):
                 if not queue:
                     continue
                 head = queue[0]
@@ -430,10 +445,25 @@ class _HandelCBuilder:
                     if used_channel:
                         continue  # stagger: this branch waits a cycle
                     used_channel = True
+                for op in head.ops:
+                    if op.is_memory() and op.array is not None:
+                        cycle_memory.setdefault(op.array, []).append(
+                            (branch_index, op.kind is OpKind.STORE, op.location)
+                        )
                 combined.ops.extend(head.ops)
                 for symbol, value in head.latches.items():
                     combined.latches[symbol] = value
                 queue.pop(0)
+            for array, accesses in cycle_memory.items():
+                branches = {b for b, _, _ in accesses}
+                if len(branches) > 1 and any(w for _, w, _ in accesses):
+                    self.par_memory_conflicts += 1
+                    site = next(
+                        (loc for _, write, loc in accesses
+                         if write and loc is not None),
+                        par.location,
+                    )
+                    self.par_conflict_sites.append(site)
             merged.append(combined)
         return self._sequence([self._action_fragment(a) for a in merged]) \
             if merged else self._empty_fragment()
@@ -652,11 +682,14 @@ class HandelCFlow(Flow):
             inlined, inline_stats = inline_program(program, info, roots=roots)
             t.count(calls_inlined=inline_stats.calls_inlined)
         fsmds: List[FSMD] = []
+        par_memory_conflicts = 0
         # Handel-C is syntax-directed: the AST maps straight to states, so
         # the build step plays the cdfg+schedule phases in one.
         with t.span("cdfg", cat="phase"):
             for fn in inlined.functions:
-                fsmds.append(_HandelCBuilder(fn).build())
+                builder = _HandelCBuilder(fn)
+                fsmds.append(builder.build())
+                par_memory_conflicts += builder.par_memory_conflicts
             t.count(states=sum(f.n_states for f in fsmds))
         fsmds.sort(key=lambda f: 0 if f.name == function else 1)
         system = FSMDSystem(
@@ -677,5 +710,8 @@ class HandelCFlow(Flow):
             name=function,
             system=system,
             tech=tech,
-            stats={"calls_inlined": inline_stats.calls_inlined},
+            stats={
+                "calls_inlined": inline_stats.calls_inlined,
+                "par_memory_conflicts": par_memory_conflicts,
+            },
         )

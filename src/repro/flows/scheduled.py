@@ -31,13 +31,27 @@ from ..lang.symtab import SymbolKind
 from ..lang.types import ArrayType
 from ..rtl.fsmd import FSMD, FSMDSystem, fsmd_from_schedule
 from ..rtl.tech import DEFAULT_TECH, Technology
-from ..scheduling.base import BlockSchedule, FunctionSchedule
+from ..scheduling.base import BlockSchedule, ConstraintInfeasible, FunctionSchedule
 from ..scheduling.list_scheduler import list_schedule_function
 from ..scheduling.resources import ResourceSet, op_delay_ns
 from ..sim import simulate
 from ..sim.profile import SimProfile
 from ..trace import ensure_trace
-from .base import CompiledDesign, DesignCost, FlowResult, _roots_of
+from .base import (
+    CompiledDesign,
+    DesignCost,
+    FlowResult,
+    TimingInfeasible,
+    _roots_of,
+)
+
+
+def _first_within_location(fn: ast.FunctionDef):
+    """Where the function's first ``within`` block starts (diagnostics)."""
+    for stmt in ast.walk_stmts(fn.body):
+        if isinstance(stmt, ast.Within):
+            return stmt.location
+    return None
 
 
 def chain_schedule_function(
@@ -305,10 +319,19 @@ def synthesize_fsmd_system(
                     cdfg, tech, scheduler_name="chain"
                 )
             else:
-                schedule = list_schedule_function(
-                    cdfg, resources or ResourceSet.typical(), tech, clock_ns,
-                    trace=trace,
-                )
+                try:
+                    schedule = list_schedule_function(
+                        cdfg, resources or ResourceSet.typical(), tech,
+                        clock_ns, trace=trace,
+                    )
+                except ConstraintInfeasible as error:
+                    # Re-raise as the flow-level timing rejection the TIM102
+                    # checker rule predicts, anchored at the within block.
+                    raise TimingInfeasible(
+                        flow_key,
+                        f"no schedule meets the within constraint: {error}",
+                        location=_first_within_location(fn),
+                    ) from error
             fsmd = fsmd_from_schedule(schedule)
             t.count(scheduler=scheduler, states=fsmd.n_states)
         artifacts.append(

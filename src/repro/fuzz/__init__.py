@@ -16,6 +16,8 @@ Layers, bottom-up:
 * :mod:`.signature` — how failures are named and deduplicated;
 * :mod:`.reduce` — statement- then token-level delta debugging;
 * :mod:`.corpus` — the persistent triaged corpus under ``tests/corpus/``;
+* :mod:`.timing` — schedule-boundary probes predicted to trip one TIM
+  rule each, cross-checked by :mod:`repro.analysis.timing.harness`;
 * :mod:`.campaign` — the orchestrator behind ``repro fuzz``.
 """
 
@@ -27,10 +29,16 @@ from .campaign import (
 )
 from .corpus import Corpus, CorpusEntry, replay_entry
 from .grammar import GeneratedProgram, available_profiles, generate_program
-from .masks import FeatureMask, all_masks, feature_mask
+from .masks import FeatureMask, all_masks, feature_mask, timing_probe_kinds
 from .mutate import MUTATION_NAMES, Mutant, mutants
 from .reduce import ReductionResult, is_statement_minimal, reduce_source
 from .signature import KINDS, Divergence, Signature, program_hash
+from .timing import (
+    PROBE_RULES,
+    TimingProbe,
+    generate_timing_probe,
+    probe_plan,
+)
 
 __all__ = [
     "CampaignConfig",
@@ -43,17 +51,22 @@ __all__ = [
     "KINDS",
     "MUTATION_NAMES",
     "Mutant",
+    "PROBE_RULES",
     "ReductionResult",
     "Signature",
+    "TimingProbe",
     "all_masks",
     "available_profiles",
     "feature_mask",
     "generate_program",
+    "generate_timing_probe",
     "is_statement_minimal",
     "mutants",
+    "probe_plan",
     "program_hash",
     "promote",
     "reduce_source",
     "replay_entry",
     "run_campaign",
+    "timing_probe_kinds",
 ]

@@ -79,3 +79,24 @@ def all_masks(flows: List[str] = None) -> Dict[str, FeatureMask]:
     """Masks for the given flows (default: every compilable flow)."""
     selected = list(flows) if flows is not None else list(COMPILABLE)
     return {key: feature_mask(key) for key in selected}
+
+
+def timing_probe_kinds(flow: str) -> Tuple[str, ...]:
+    """Which timing-boundary probe kinds apply to ``flow``, derived from
+    its :class:`~repro.analysis.timing.TimingObligations` the same way
+    :func:`feature_mask` derives from the lint registry: a changed
+    obligation retargets the probe generator with no fuzzer change.
+    Kind names match :data:`repro.fuzz.timing.PROBE_RULES`."""
+    from ..analysis.timing import obligations_for
+
+    obligations = obligations_for(flow)
+    kinds: List[str] = []
+    if obligations.rendezvous:
+        kinds.extend(("rv-orphan", "rv-self"))
+    if obligations.enforces_within:
+        kinds.extend(("within-rendezvous", "within-infeasible"))
+    if obligations.lockstep_par:
+        kinds.extend(("par-shared-cycle", "mem-port"))
+    if obligations.pipelined:
+        kinds.append("ii-conflict")
+    return tuple(kinds)

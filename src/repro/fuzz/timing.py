@@ -1,0 +1,202 @@
+"""Timing-boundary probes: programs built to violate exactly one TIM rule.
+
+The differential fuzzer's grammar targets each flow's *feature* boundary
+(what the frontend rejects); this module targets the *schedule* boundary —
+programs every frontend accepts but whose timing/resource obligations a
+flow's execution model cannot meet.  Each probe carries its predicted rule
+id, and the cross-check harness (:mod:`repro.analysis.timing.harness`)
+validates three things per probe: the checker rejects it, the diagnostic
+lands on a real source location, and the *predicted failure actually
+happens* on the compiled artifact (the schedule refuses, the simulation
+deadlocks, or the measured occupancy oversubscribes).
+
+Which probe kinds apply to which flow is derived from the flow's
+:class:`~repro.analysis.timing.TimingObligations` via
+:func:`repro.fuzz.masks.timing_probe_kinds` — the timing analogue of the
+feature masks, so a changed obligation retargets the probe plan with no
+change here.  Generation is pure in ``(kind, flow, seed)``: the seed only
+varies cosmetic surface (identifier names, constants) so every seed of a
+kind still violates the same obligation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.lint.diagnostics import (
+    RULE_TIM_II_CONFLICT,
+    RULE_TIM_PAR_SHARED_CYCLE,
+    RULE_TIM_PORT_OVERSUBSCRIBED,
+    RULE_TIM_RENDEZVOUS,
+    RULE_TIM_UNBOUNDED_IN_WITHIN,
+    RULE_TIM_WITHIN_INFEASIBLE,
+)
+from ..flows import COMPILABLE
+from .masks import timing_probe_kinds
+
+#: Probe kind -> the one TIM rule the probe is built to trip.
+PROBE_RULES: Dict[str, str] = {
+    "rv-orphan": RULE_TIM_RENDEZVOUS,
+    "rv-self": RULE_TIM_RENDEZVOUS,
+    "within-rendezvous": RULE_TIM_UNBOUNDED_IN_WITHIN,
+    "within-infeasible": RULE_TIM_WITHIN_INFEASIBLE,
+    "par-shared-cycle": RULE_TIM_PAR_SHARED_CYCLE,
+    "mem-port": RULE_TIM_PORT_OVERSUBSCRIBED,
+    "ii-conflict": RULE_TIM_II_CONFLICT,
+}
+
+_NAME_POOL = ("c", "link", "pipe", "bus")
+_VAR_POOL = ("x", "y", "tmp", "val")
+_ARR_POOL = ("arr", "buf", "ram", "mem")
+
+
+@dataclass(frozen=True)
+class TimingProbe:
+    """One generated boundary program plus its prediction."""
+
+    kind: str                    # key of PROBE_RULES
+    flow: str                    # the flow whose obligation it violates
+    seed: int
+    rule: str                    # predicted TIM rule id
+    source: str
+    pipeline_ii: Optional[int] = None   # CheckOptions.pipeline_ii to use
+    args: Tuple[int, ...] = field(default=(3,))
+
+
+def _rng(kind: str, flow: str, seed: int) -> random.Random:
+    # zlib.crc32, not hash(): str hashing is salted per process and these
+    # probes must be byte-identical across workers and sessions.
+    import zlib
+
+    return random.Random(zlib.crc32(f"{kind}|{flow}|{seed}".encode()))
+
+
+def generate_timing_probe(kind: str, flow: str, seed: int) -> TimingProbe:
+    """Build the probe for ``(kind, flow, seed)`` — pure in its inputs."""
+    if kind not in PROBE_RULES:
+        known = ", ".join(sorted(PROBE_RULES))
+        raise KeyError(f"unknown probe kind {kind!r}; known kinds: {known}")
+    rng = _rng(kind, flow, seed)
+    chan = rng.choice(_NAME_POOL)
+    var = rng.choice(_VAR_POOL)
+    arr = rng.choice(_ARR_POOL)
+    k = rng.randint(1, 9)
+    pipeline_ii: Optional[int] = None
+
+    if kind == "rv-self":
+        source = (
+            f"chan<int> {chan};\n"
+            f"int main(int a) {{\n"
+            f"  send({chan}, a + {k});\n"
+            f"  int {var} = recv({chan});\n"
+            f"  return {var};\n"
+            f"}}\n"
+        )
+    elif kind == "rv-orphan":
+        # Alternate which endpoint is orphaned; both block forever.
+        if seed % 2 == 0:
+            source = (
+                f"chan<int> {chan};\n"
+                f"int main(int a) {{\n"
+                f"  send({chan}, a + {k});\n"
+                f"  return a;\n"
+                f"}}\n"
+            )
+        else:
+            source = (
+                f"chan<int> {chan};\n"
+                f"int main(int a) {{\n"
+                f"  int {var} = recv({chan});\n"
+                f"  return {var} + {k};\n"
+                f"}}\n"
+            )
+    elif kind == "within-rendezvous":
+        source = (
+            f"chan<int> {chan};\n"
+            f"process void prod() {{ send({chan}, {k}); }}\n"
+            f"int main(int a) {{\n"
+            f"  int {var};\n"
+            f"  within (2) {{\n"
+            f"    {var} = recv({chan});\n"
+            f"  }}\n"
+            f"  return {var} + a;\n"
+            f"}}\n"
+        )
+    elif kind == "within-infeasible":
+        delay = rng.randint(3, 6)
+        source = (
+            f"int main(int a) {{\n"
+            f"  int {var};\n"
+            f"  within (2) {{\n"
+            f"    {var} = a + {k};\n"
+            f"    delay({delay});\n"
+            f"    {var} = {var} + {k + 1};\n"
+            f"  }}\n"
+            f"  return {var};\n"
+            f"}}\n"
+        )
+    elif kind == "par-shared-cycle":
+        source = (
+            f"int {arr}[8];\n"
+            f"int main(int i) {{\n"
+            f"  int {var};\n"
+            f"  par {{\n"
+            f"    {arr}[i & 7] = {k};\n"
+            f"    {var} = {arr}[(i + 1) & 7];\n"
+            f"  }}\n"
+            f"  return {var};\n"
+            f"}}\n"
+        )
+    elif kind == "mem-port":
+        source = (
+            f"int {arr}[8];\n"
+            f"int main(int i) {{\n"
+            f"  {arr}[i & 7] = {arr}[(i + 1) & 7] + {arr}[(i + 2) & 7];\n"
+            f"  return {arr}[i & 7] + {k};\n"
+            f"}}\n"
+        )
+    elif kind == "ii-conflict":
+        pipeline_ii = 2
+        init = ", ".join(str(rng.randint(1, 9)) for _ in range(8))
+        source = (
+            f"int {arr}[8] = {{{init}}};\n"
+            f"int main(int a) {{\n"
+            f"  int acc = a;\n"
+            f"  for (int i = 0; i < 8; i = i + 1) {{\n"
+            f"    {arr}[i & 7] = {arr}[(i + 1) & 7] + acc;\n"
+            f"    acc = acc + {arr}[(i + 2) & 7];\n"
+            f"  }}\n"
+            f"  return acc;\n"
+            f"}}\n"
+        )
+    else:  # pragma: no cover - guarded above
+        raise AssertionError(kind)
+
+    return TimingProbe(
+        kind=kind,
+        flow=flow,
+        seed=seed,
+        rule=PROBE_RULES[kind],
+        source=source,
+        pipeline_ii=pipeline_ii,
+        args=(rng.randint(1, 5),),
+    )
+
+
+def probe_plan(
+    flows: Optional[Sequence[str]] = None,
+    seeds: int = 8,
+    seed_base: int = 0,
+) -> List[TimingProbe]:
+    """Every applicable ``(kind, flow)`` pair x ``seeds`` probes, in
+    deterministic order (flow registry order, then kind, then seed).
+    With the defaults this yields 27 pairs x 8 = 216 probes."""
+    selected = list(flows) if flows is not None else list(COMPILABLE)
+    plan: List[TimingProbe] = []
+    for flow in selected:
+        for kind in timing_probe_kinds(flow):
+            for seed in range(seed_base, seed_base + seeds):
+                plan.append(generate_timing_probe(kind, flow, seed))
+    return plan
