@@ -6,7 +6,9 @@ Commands
 [--trace OUT.json]``
     Compile and simulate a program; prints value, cycles, cost, and
     (with ``--profile``) the simulation profile.  ``--sim-backend
-    compiled`` specializes FSMD artifacts to closures before running.
+    compiled`` specializes FSMD artifacts to closures before running;
+    ``batched`` runs the lockstep batch engine (one lane here, many in
+    sweeps and fuzz campaigns).
     ``--trace`` records every pipeline phase (parse through sim) and
     writes a Chrome trace_event file for Perfetto.
 ``compile FILE --flow KEY [-o OUT.v]``
@@ -360,6 +362,7 @@ def cmd_fuzz(options: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         corpus_dir=Path(options.corpus_dir),
         sim_backend=options.sim_backend,
+        input_lanes=max(1, options.input_lanes),
     )
     report = run_campaign(config)
     print("\n".join(report.summary_lines()))
@@ -427,7 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--function", default="main")
     run_parser.add_argument("--args", help="comma-separated integers")
     run_parser.add_argument("--sim-backend", default="interp",
-                            choices=("interp", "compiled"),
+                            choices=("interp", "compiled", "batched"),
                             help="FSMD simulation engine (default interp)")
     run_parser.add_argument(
         "--profile", action="store_true",
@@ -459,9 +462,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--timeout", type=float,
                        help="per-cell wall-clock deadline in seconds (default 60)")
         p.add_argument("--sim-backend", default="interp",
-                       choices=("interp", "compiled"),
+                       choices=("interp", "compiled", "batched"),
                        help="FSMD simulation engine for every cell"
-                            " (default interp; part of the cache key)")
+                            " (default interp; part of the cache key;"
+                            " 'batched' coalesces cells that differ only"
+                            " in inputs into lockstep batches)")
         p.add_argument("--trace-summary", action="store_true",
                        help="trace every cell and print the per-flow,"
                             " per-phase wall-time table")
@@ -560,6 +565,12 @@ def build_parser() -> argparse.ArgumentParser:
                              help="write new findings into the corpus")
     fuzz_parser.add_argument("--corpus-dir", default="tests/corpus",
                              help="triaged corpus root (default tests/corpus)")
+    fuzz_parser.add_argument(
+        "--input-lanes", type=int, default=1, metavar="K",
+        help="argument sets simulated per clean program (default 1);"
+             " combine with --sim-backend batched to run them as one"
+             " lockstep batch per program",
+    )
     add_runner_flags(fuzz_parser)
     fuzz_parser.set_defaults(handler=cmd_fuzz)
 

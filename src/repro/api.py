@@ -72,7 +72,10 @@ class SynthesisOptions:
     function:
         Entry function; ``process`` functions always come along.
     sim_backend:
-        FSMD simulation engine, ``"interp"`` or ``"compiled"``.
+        FSMD simulation engine, ``"interp"``, ``"compiled"``, or
+        ``"batched"`` (the lockstep batch engine; as a scalar backend it
+        runs a one-lane batch, and it unlocks
+        :meth:`SynthesisResult.run_batch` plus runner/fuzz batching).
     opt_level:
         IR optimization effort: 0 = none, 1 = one fold/CSE/DCE/simplify
         sweep, 2 = to a fixed point (the default, and the historical
@@ -173,6 +176,29 @@ class SynthesisResult:
         backend's compile/execute split) joins the trace."""
         return self.design.run(
             args=args,
+            process_args=process_args,
+            max_cycles=max_cycles,
+            sim_backend=self.options.sim_backend,
+            sim_profile=sim_profile,
+            trace=self.trace,
+        )
+
+    def run_batch(
+        self,
+        arg_sets: Sequence[Sequence[int]],
+        process_args=None,
+        max_cycles: int = 2_000_000,
+        sim_profile=None,
+    ):
+        """Simulate every argument set in one batch (specialize once,
+        execute many).  Returns a list of
+        :class:`~repro.flows.base.LaneOutcome`, one per argument set;
+        lanes that error capture the scalar backend's exact error
+        instead of poisoning the batch.  With
+        ``sim_backend="batched"`` FSMD designs run the lockstep batch
+        engine; other backends fall back to sequential lanes."""
+        return self.design.run_batch(
+            arg_sets,
             process_args=process_args,
             max_cycles=max_cycles,
             sim_backend=self.options.sim_backend,

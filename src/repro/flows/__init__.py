@@ -25,6 +25,7 @@ from .base import (
     FlowError,
     FlowMetadata,
     FlowResult,
+    LaneOutcome,
     UnsupportedFeature,
 )
 from .ocapi import OcapiModule, OcapiState
@@ -49,6 +50,7 @@ __all__ = [
     "FlowError",
     "FlowMetadata",
     "FlowResult",
+    "LaneOutcome",
     "OcapiModule",
     "OcapiState",
     "REGISTRY",

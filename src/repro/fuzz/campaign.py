@@ -84,6 +84,11 @@ class CampaignConfig:
     corpus_dir: Path = Path("tests") / "corpus"
     batch_size: int = 200                   # cells per engine dispatch
     sim_backend: str = "interp"             # FSMD engine for every cell
+    # Argument sets simulated per clean program (K seeds per program).
+    # Lanes share the program's synthesized artifact; with
+    # sim_backend="batched" the engine coalesces them into one lockstep
+    # batch cell, which is where campaign throughput comes from.
+    input_lanes: int = 1
 
 
 @dataclass
@@ -91,6 +96,7 @@ class FlowStats:
     seeds: int = 0
     boundary_seeds: int = 0
     mutants: int = 0
+    lanes: int = 0                          # extra per-program input lanes
     ok: int = 0
     expected_rejections: int = 0
     mutant_rejections: int = 0              # benign: mutant crossed a boundary
@@ -171,7 +177,30 @@ def plan_items(config: CampaignConfig) -> List[_WorkItem]:
     return items
 
 
-def _tasks_for(item: _WorkItem, sim_backend: str = "interp") -> List[CellTask]:
+def _lane_args(args: Tuple[int, ...], lane: int) -> Tuple[int, ...]:
+    """Deterministic per-lane argument variation inside the grammar's
+    input domain ([-100, 100]).  Lane 0 is the program's own args."""
+    if lane == 0:
+        return tuple(args)
+    return tuple(
+        (value + 37 * lane * (position + 1) + 100) % 201 - 100
+        for position, value in enumerate(args)
+    )
+
+
+def _lane_count(item: _WorkItem, input_lanes: int) -> int:
+    """Extra argument-set tasks for one item (0 for boundary probes —
+    rejections are compile-time, more inputs prove nothing)."""
+    if item.program.is_boundary or not item.program.args:
+        return 0
+    return max(0, input_lanes - 1)
+
+
+def _tasks_for(
+    item: _WorkItem,
+    sim_backend: str = "interp",
+    input_lanes: int = 1,
+) -> List[CellTask]:
     program = item.program
     tasks = [
         CellTask(
@@ -182,6 +211,16 @@ def _tasks_for(item: _WorkItem, sim_backend: str = "interp") -> List[CellTask]:
             sim_backend=sim_backend,
         )
     ]
+    for lane in range(1, _lane_count(item, input_lanes) + 1):
+        tasks.append(
+            CellTask(
+                workload=f"{program.name}-lane{lane}",
+                source=program.source,
+                flow=program.flow,
+                args=_lane_args(program.args, lane),
+                sim_backend=sim_backend,
+            )
+        )
     for mutant in item.mutant_list:
         tasks.append(
             CellTask(
@@ -196,11 +235,16 @@ def _tasks_for(item: _WorkItem, sim_backend: str = "interp") -> List[CellTask]:
 
 
 def _classify_item(
-    item: _WorkItem, results, stats: FlowStats
+    item: _WorkItem, results, stats: FlowStats, input_lanes: int = 1
 ) -> List[Divergence]:
-    """Judge one program (and its mutants) from its cell results."""
+    """Judge one program (and its lanes and mutants) from its cell
+    results, in :func:`_tasks_for` order: original, extra input lanes,
+    then mutants."""
     program = item.program
     original = results[0]
+    lane_count = _lane_count(item, input_lanes)
+    lane_results = results[1:1 + lane_count]
+    mutant_results = results[1 + lane_count:]
     found: List[Divergence] = []
 
     def divergence(kind: str, **kwargs) -> Divergence:
@@ -271,7 +315,27 @@ def _classify_item(
             }},
         ))
 
-    for mutant, result in zip(item.mutant_list, results[1:]):
+    for lane, result in enumerate(lane_results, start=1):
+        stats.lanes += 1
+        if result.verdict == OK:
+            stats.ok += 1
+            continue
+        if result.verdict == REJECTED:
+            # Rejections are input-independent, so a lane can only be
+            # rejected if the original was — classified above already.
+            continue
+        found.append(divergence(
+            _VERDICT_TO_KIND.get(result.verdict, KIND_ERROR),
+            args=result.args,
+            rule=result.rule,
+            detail=f"lane {lane}: {result.note(60)}",
+            extra={"expect": {
+                "verdict": result.verdict,
+                "value": result.value,
+            }},
+        ))
+
+    for mutant, result in zip(item.mutant_list, mutant_results):
         stats.mutants += 1
         if result.verdict == OK:
             continue
@@ -449,18 +513,25 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
         tasks: List[CellTask] = []
         spans: List[Tuple[_WorkItem, int, int]] = []
         for entry in batch_items:
-            entry_tasks = _tasks_for(entry, config.sim_backend)
+            entry_tasks = _tasks_for(
+                entry, config.sim_backend, config.input_lanes
+            )
             spans.append((entry, len(tasks), len(tasks) + len(entry_tasks)))
             tasks.extend(entry_tasks)
         results = engine.run_cells(tasks)
         report.cells_run += len(results)
         for entry, lo, hi in spans:
             stats = report.stats[entry.program.flow]
-            raw.extend(_classify_item(entry, results[lo:hi], stats))
+            raw.extend(_classify_item(
+                entry, results[lo:hi], stats, config.input_lanes
+            ))
 
     for item in items:
         batch.append(item)
-        if sum(1 + len(b.mutant_list) for b in batch) >= config.batch_size:
+        if sum(
+            1 + _lane_count(b, config.input_lanes) + len(b.mutant_list)
+            for b in batch
+        ) >= config.batch_size:
             flush(batch)
             batch = []
             if (

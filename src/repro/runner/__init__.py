@@ -25,6 +25,7 @@ from .engine import (
     DEFAULT_MAX_CYCLES,
     DEFAULT_TIMEOUT_S,
     MatrixEngine,
+    execute_batch,
     execute_cell,
     file_tasks,
     suite_tasks,
@@ -49,6 +50,7 @@ __all__ = [
     "canonical_observable",
     "cell_key",
     "environment_salt",
+    "execute_batch",
     "execute_cell",
     "file_tasks",
     "suite_tasks",

@@ -65,9 +65,11 @@ class CellTask:
     # Flow compile() keyword options as a sorted tuple of pairs so the task
     # is hashable and its cache key is order-independent.
     options: Tuple[Tuple[str, object], ...] = ()
-    # FSMD simulation engine ("interp" or "compiled").  Part of the cache
-    # key: both backends must produce identical results, and keeping their
-    # artifacts distinct is what lets a sweep prove it.
+    # FSMD simulation engine ("interp", "compiled", or "batched").  Part
+    # of the cache key: all backends must produce identical results, and
+    # keeping their artifacts distinct is what lets a sweep prove it.
+    # "batched" additionally lets the engine coalesce cells that share
+    # (source, flow, function, options) into one lockstep batch.
     sim_backend: str = "interp"
 
     def options_dict(self) -> Dict[str, object]:

@@ -169,7 +169,129 @@ def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
     return result.to_dict()
 
 
-def _crash_result(payload: Dict[str, object]) -> Dict[str, object]:
+def execute_batch(payload: Dict[str, object]) -> List[Dict[str, object]]:
+    """Compile once, simulate every lane, judge each like a scalar cell.
+
+    The batched counterpart of :func:`execute_cell`: cells that share
+    ``(source, flow, function, options)`` but differ in inputs coalesce
+    into one payload carrying a ``lanes`` list (each lane a dict of
+    ``workload`` / ``args`` / ``expected`` / ``cache_key``).  One
+    synthesis, one ``run_batch``, one cost/Verilog pass; per-lane sim
+    errors become per-lane ``error`` verdicts with the scalar backend's
+    exact message instead of poisoning the batch.  Returns one result
+    dict per lane, in lane order."""
+    import hashlib
+
+    from ..api import synthesize
+    from ..flows import FlowError
+    from ..trace import TraceContext
+
+    lanes: List[Dict[str, object]] = list(payload["lanes"])  # type: ignore
+    task = CellTask(
+        workload=str(lanes[0]["workload"]) if lanes else "batch",
+        source=payload["source"],
+        flow=payload["flow"],
+        function=payload.get("function", "main"),
+        args=tuple(lanes[0].get("args", ())) if lanes else (),
+        options=tuple((k, v) for k, v in payload.get("options", ())),
+        sim_backend=str(payload.get("sim_backend", "interp")),
+    )
+    results = [
+        CellResult(
+            workload=str(lane["workload"]),
+            flow=task.flow,
+            function=task.function,
+            args=tuple(lane.get("args", ())),
+            sim_backend=task.sim_backend,
+            cache_key=str(lane.get("cache_key", "")),
+        )
+        for lane in lanes
+    ]
+    trace = None
+    if payload.get("trace"):
+        trace = TraceContext(name=f"{task.workload}:{task.flow}")
+    timeout_s = float(payload.get("timeout_s", 0.0))
+    start = time.perf_counter()
+    try:
+        # The whole batch gets the sum of its lanes' deadlines: one slow
+        # lane cannot eat the others' budget share.
+        with _Deadline(timeout_s * max(len(lanes), 1)):
+            compiled = synthesize(
+                task.source, task.synthesis_options(), trace=trace
+            )
+            outcomes = compiled.run_batch(
+                [tuple(lane.get("args", ())) for lane in lanes],
+                max_cycles=int(payload.get("max_cycles", DEFAULT_MAX_CYCLES)),
+            )
+            cost = compiled.cost()
+            try:
+                rtl = compiled.verilog()
+            except NotImplementedError:
+                rtl = ""
+    except FlowError as rejection:
+        for result in results:
+            result.verdict = REJECTED
+            result.rule = rejection.rule
+            result.diagnostics = [rejection.reason]
+    except CellTimeout:
+        for result in results:
+            result.verdict = TIMEOUT
+            result.diagnostics = [
+                f"cell exceeded its {payload.get('timeout_s')}s deadline"
+            ]
+    except Exception:
+        diagnostics = traceback.format_exc().strip().splitlines()[-3:]
+        for result in results:
+            result.verdict = ERROR
+            result.diagnostics = list(diagnostics)
+    else:
+        rtl_hash = (
+            hashlib.sha256(rtl.encode()).hexdigest()[:16] if rtl else ""
+        )
+        for result, outcome, lane in zip(results, outcomes, lanes):
+            if not outcome.ok:
+                result.verdict = ERROR
+                result.diagnostics = [
+                    f"{outcome.error_kind}: {outcome.error}"
+                ]
+                continue
+            run = outcome.result
+            observable = canonical_observable(run.observable())
+            result.value = run.value
+            result.cycles = run.cycles
+            result.clock_ns = cost.clock_ns
+            result.latency_ns = (
+                run.cycles * cost.clock_ns if cost.clock_ns > 0
+                else run.time_ns
+            )
+            result.area_ge = cost.area_ge
+            result.rtl_hash = rtl_hash
+            result.observable = observable
+            expected = lane.get("expected")
+            if expected is not None and observable != expected:
+                result.verdict = MISMATCH
+                result.diagnostics = [
+                    f"observables diverge from golden model: value "
+                    f"{run.value} vs {expected[0] if expected else '?'}"
+                ]
+            else:
+                result.verdict = OK
+    wall_s = (time.perf_counter() - start) / max(len(lanes), 1)
+    for result in results:
+        if trace is not None:
+            result.trace = trace.to_dict()
+        result.wall_s = wall_s
+    return [result.to_dict() for result in results]
+
+
+def _crash_result(payload: Dict[str, object]):
+    if "lanes" in payload:
+        crashed = []
+        for lane in payload["lanes"]:  # type: ignore[union-attr]
+            merged = {**payload, **lane}
+            merged.pop("lanes", None)
+            crashed.append(_crash_result(merged))
+        return crashed
     result = CellResult(
         workload=str(payload["workload"]),
         flow=str(payload["flow"]),
@@ -197,6 +319,9 @@ class MatrixEngine:
     worker:
         The cell executor (module-level callable, dict→dict).  Tests
         substitute crashing/slow workers to exercise isolation paths.
+    batch_worker:
+        The batch executor (dict→list-of-dicts) used for coalesced
+        ``sim_backend="batched"`` cells; see :func:`execute_batch`.
     trace:
         Record phase spans for every cell.  Traces ride inside the
         ``CellResult`` (and its cache entry), so a warm re-run still
@@ -212,34 +337,61 @@ class MatrixEngine:
         max_cycles: int = DEFAULT_MAX_CYCLES,
         worker: Callable[[Dict[str, object]], Dict[str, object]] = execute_cell,
         trace: bool = False,
+        batch_worker: Callable[
+            [Dict[str, object]], List[Dict[str, object]]
+        ] = execute_batch,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.timeout_s = timeout_s
         self.max_cycles = max_cycles
         self.worker = worker
+        self.batch_worker = batch_worker
         self.trace = bool(trace)
         self._salt = environment_salt()
         self._golden: Dict[Tuple[str, str, Tuple[int, ...]], Optional[list]] = {}
+        # source -> parsed (program, info), or None when unparseable.
+        # Parsing dominates the golden model's cost (~12x the actual
+        # interpretation on suite kernels), so batches of lanes over one
+        # program must not re-parse per lane.
+        self._parsed: Dict[str, Optional[tuple]] = {}
 
     # -- golden model -----------------------------------------------------
+
+    def _parsed_source(self, source: str) -> Optional[tuple]:
+        if source not in self._parsed:
+            from ..lang import parse
+
+            try:
+                self._parsed[source] = parse(source)
+            except Exception:
+                self._parsed[source] = None
+        return self._parsed[source]
 
     def golden_observable(self, task: CellTask) -> Optional[list]:
         """The reference interpreter's canonical observable for the task's
         program and inputs, memoized per (source, function, args); None when
         the interpreter itself cannot run the program (the flows will then
-        report their own rejections)."""
+        report their own rejections).  The parse is memoized separately per
+        source, so many-lane batches pay it once."""
         key = (task.source, task.function, task.args)
         if key not in self._golden:
-            from ..interp import run_source
+            from ..interp import run_program
 
-            try:
-                golden = run_source(task.source, args=task.args,
-                                    function=task.function)
-            except Exception:
+            parsed = self._parsed_source(task.source)
+            if parsed is None:
                 self._golden[key] = None
             else:
-                self._golden[key] = canonical_observable(golden.observable())
+                try:
+                    golden = run_program(
+                        parsed[0], parsed[1], task.function, task.args
+                    )
+                except Exception:
+                    self._golden[key] = None
+                else:
+                    self._golden[key] = canonical_observable(
+                        golden.observable()
+                    )
         return self._golden[key]
 
     # -- execution --------------------------------------------------------
@@ -260,11 +412,39 @@ class MatrixEngine:
             "trace": self.trace,
         }
 
+    def _lane_entry(self, task: CellTask, key: str) -> Dict[str, object]:
+        return {
+            "workload": task.workload,
+            "args": list(task.args),
+            "expected": self.golden_observable(task),
+            "cache_key": key,
+        }
+
+    def _batch_payload(self, task: CellTask) -> Dict[str, object]:
+        return {
+            "source": task.source,
+            "flow": task.flow,
+            "function": task.function,
+            "options": [list(pair) for pair in task.options],
+            "sim_backend": task.sim_backend,
+            "timeout_s": self.timeout_s,
+            "max_cycles": self.max_cycles,
+            "trace": self.trace,
+            "lanes": [],
+        }
+
     def run_cells(self, tasks: Sequence[CellTask]) -> List[CellResult]:
         """Execute every task, preserving order; cache hits replay from
-        disk and fresh deterministic results are written back."""
+        disk and fresh deterministic results are written back.
+
+        Cells with ``sim_backend="batched"`` that share
+        ``(source, flow, function, options)`` but differ in inputs
+        coalesce into one batch payload (even a single such cell runs as
+        a one-lane batch, so batch-of-1 and batch-of-K take the same
+        code path); cache hits still replay per lane."""
         results: List[Optional[CellResult]] = [None] * len(tasks)
-        pending: List[Tuple[int, Dict[str, object]]] = []
+        pending: List[Tuple[object, Dict[str, object]]] = []
+        batch_groups: Dict[tuple, int] = {}
         for index, task in enumerate(tasks):
             key = cell_key(task, salt=self._salt) if self.cache is not None else ""
             if self.cache is not None:
@@ -282,19 +462,43 @@ class MatrixEngine:
                     hit.workload = task.workload
                     results[index] = hit
                     continue
+            if task.sim_backend == "batched":
+                group = (task.source, task.flow, task.function, task.options)
+                position = batch_groups.get(group)
+                if position is None:
+                    position = len(pending)
+                    batch_groups[group] = position
+                    pending.append(([], self._batch_payload(task)))
+                pending[position][0].append(index)  # type: ignore[union-attr]
+                pending[position][1]["lanes"].append(  # type: ignore[index]
+                    self._lane_entry(task, key)
+                )
+                continue
             pending.append((index, self._payload(task, key)))
+        # Freeze batch index lists into hashable tuples (the pool's
+        # bookkeeping puts the index side of each entry in a set).
+        pending = [
+            (tuple(i) if isinstance(i, list) else i, p) for i, p in pending
+        ]
 
         if pending:
             if self.jobs == 1:
-                fresh = [(i, self.worker(p)) for i, p in pending]
+                fresh = [(i, self._worker_for(p)(p)) for i, p in pending]
             else:
                 fresh = self._run_pool(pending)
             for index, data in fresh:
-                result = CellResult.from_dict(data)
-                if self.cache is not None and result.cache_key:
-                    self.cache.store(result.cache_key, result)
-                results[index] = result
+                for i, d in (
+                    zip(index, data) if isinstance(index, tuple)
+                    else [(index, data)]
+                ):
+                    result = CellResult.from_dict(d)
+                    if self.cache is not None and result.cache_key:
+                        self.cache.store(result.cache_key, result)
+                    results[i] = result
         return [r for r in results if r is not None]
+
+    def _worker_for(self, payload: Dict[str, object]) -> Callable:
+        return self.batch_worker if "lanes" in payload else self.worker
 
     def _run_pool(
         self, pending: List[Tuple[int, Dict[str, object]]]
@@ -311,7 +515,8 @@ class MatrixEngine:
                 max_workers=min(self.jobs, len(pending)), mp_context=context
             ) as pool:
                 futures = {
-                    pool.submit(self.worker, payload): (index, payload)
+                    pool.submit(self._worker_for(payload), payload):
+                        (index, payload)
                     for index, payload in pending
                 }
                 for future in as_completed(futures):
@@ -324,7 +529,11 @@ class MatrixEngine:
                         # A worker that raised instead of returning a result
                         # dict (only possible with substitute workers).
                         crashed = _crash_result(payload)
-                        crashed["diagnostics"] = [repr(failure)]
+                        if isinstance(crashed, list):
+                            for entry in crashed:
+                                entry["diagnostics"] = [repr(failure)]
+                        else:
+                            crashed["diagnostics"] = [repr(failure)]
                         out.append((index, crashed))
         except BrokenProcessPool:
             done = {index for index, _ in out}
@@ -336,10 +545,10 @@ class MatrixEngine:
             out.append((index, self._run_isolated(payload, context)))
         return out
 
-    def _run_isolated(self, payload, context) -> Dict[str, object]:
+    def _run_isolated(self, payload, context):
         try:
             with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
-                return pool.submit(self.worker, payload).result()
+                return pool.submit(self._worker_for(payload), payload).result()
         except BrokenProcessPool:
             return _crash_result(payload)
 

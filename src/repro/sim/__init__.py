@@ -1,7 +1,7 @@
 """Hardware simulators: cycle-accurate FSMD systems, combinational
 netlists, and asynchronous token dataflow.
 
-FSMD systems have two interchangeable backends:
+FSMD systems have three interchangeable backends:
 
 * ``interp`` — the reference interpreter (:mod:`fsmd_sim`): walks the op
   lists every cycle.  Authoritative, and the only backend that reports
@@ -10,21 +10,33 @@ FSMD systems have two interchangeable backends:
   system once into per-state Python closures with slot-resolved operands,
   then runs the same three-phase cycle.  Bit-identical results on every
   well-formed system, at a multiple of the interpreter's cycles/sec.
+* ``batched`` — lockstep batch engine (:mod:`batched`): specialises once
+  and steps N independent argument sets together, vectorized over NumPy
+  lane arrays when available (pure-python lane fallback otherwise).  Use
+  :func:`simulate_batched` for many inputs at once; as a scalar backend
+  it is a one-lane batch.
 
 Select one with ``simulate(..., sim_backend="compiled")``; pass a
-:class:`SimProfile` to either to get cycles/sec and the per-state visit
-histogram.
+:class:`SimProfile` to any of them to get cycles/sec and the per-state
+visit histogram (plus per-lane cycle counts for batches).
 """
 
 from typing import Dict, Optional, Sequence
 
 from ..rtl.fsmd import FSMDSystem
+from .batched import (
+    BatchLane,
+    BatchResult,
+    HAVE_NUMPY,
+    simulate_batched,
+    simulate_one_batched,
+)
 from .compiled import SystemPlan, compile_system, simulate_compiled
 from .fsmd_sim import FSMDSimulator, SimResult, SimulationError
 from .fsmd_sim import simulate as simulate_interp
 from .profile import SimProfile
 
-BACKENDS = ("interp", "compiled")
+BACKENDS = ("interp", "compiled", "batched")
 
 
 def simulate(
@@ -46,6 +58,11 @@ def simulate(
             system, args=args, max_cycles=max_cycles,
             process_args=process_args, profile=profile,
         )
+    if sim_backend == "batched":
+        return simulate_one_batched(
+            system, args=args, max_cycles=max_cycles,
+            process_args=process_args, profile=profile,
+        )
     raise ValueError(
         f"unknown sim backend {sim_backend!r} (expected one of {BACKENDS})"
     )
@@ -53,13 +70,18 @@ def simulate(
 
 __all__ = [
     "BACKENDS",
+    "BatchLane",
+    "BatchResult",
     "FSMDSimulator",
+    "HAVE_NUMPY",
     "SimProfile",
     "SimResult",
     "SimulationError",
     "SystemPlan",
     "compile_system",
     "simulate",
+    "simulate_batched",
     "simulate_compiled",
     "simulate_interp",
+    "simulate_one_batched",
 ]

@@ -1,0 +1,130 @@
+"""Replay the batch divergence-boundary corpus.
+
+Every entry in ``tests/batch_corpus/`` pins the per-lane outcome of one
+program whose lanes diverge — early returns, per-lane trip counts,
+lane-dependent aliasing, traps, budget exhaustion.  The replay checks
+the batched engine against the pins *and* the pins against the scalar
+backends, so drift in either direction fails loudly.  See the corpus
+README for the schema.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.flows import compile_flow
+from repro.lang import InterpError
+from repro.sim import HAVE_NUMPY, simulate_batched
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "batch_corpus"
+
+
+def _corpus_entries():
+    return sorted(CORPUS_DIR.glob("*.json"))
+
+
+def _load(path):
+    return json.loads(path.read_text())
+
+
+def _batch_outcome(lane):
+    if not lane.ok:
+        return {"ok": False, "error_kind": lane.error_kind,
+                "error": lane.error}
+    return {
+        "ok": True,
+        "value": lane.result.value,
+        "cycles": lane.result.cycles,
+        "globals": {k: v for k, v in sorted(lane.result.globals.items())},
+    }
+
+
+def _scalar_outcome(design, args, backend, max_cycles):
+    try:
+        r = design.run(args=tuple(args), sim_backend=backend,
+                       max_cycles=max_cycles)
+        return {
+            "ok": True,
+            "value": r.value,
+            "cycles": r.cycles,
+            "globals": {k: v for k, v in sorted(r.globals.items())},
+        }
+    except InterpError as failure:
+        return {"ok": False, "error_kind": type(failure).__name__,
+                "error": str(failure)}
+
+
+def _canonical(outcome):
+    """Round-trip through JSON so tuples and lists compare equal."""
+    return json.loads(json.dumps(outcome, sort_keys=True))
+
+
+@pytest.mark.parametrize("path", _corpus_entries(),
+                         ids=[p.stem for p in _corpus_entries()])
+def test_corpus_entry_replays_batched(path):
+    entry = _load(path)
+    design = compile_flow(entry["source"], flow=entry["flow"])
+    lanes = design.run_batch(
+        [tuple(args) for args in entry["lanes"]],
+        max_cycles=entry["max_cycles"], sim_backend="batched",
+    )
+    assert len(lanes) == len(entry["expected"])
+    for i, (lane, pinned) in enumerate(zip(lanes, entry["expected"])):
+        assert _canonical(_batch_outcome(lane)) == _canonical(pinned), (
+            f"{path.name} lane {i} ({entry['lanes'][i]}) drifted"
+        )
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+@pytest.mark.parametrize("path", _corpus_entries(),
+                         ids=[p.stem for p in _corpus_entries()])
+def test_corpus_pins_match_scalar_backends(path, backend):
+    """The pins themselves are still what the scalar semantics say."""
+    entry = _load(path)
+    design = compile_flow(entry["source"], flow=entry["flow"])
+    for i, (args, pinned) in enumerate(zip(entry["lanes"],
+                                           entry["expected"])):
+        scalar = _scalar_outcome(design, args, backend,
+                                 entry["max_cycles"])
+        assert _canonical(scalar) == _canonical(pinned), (
+            f"{path.name} lane {i} ({args}) vs {backend}"
+        )
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector engine needs numpy")
+@pytest.mark.parametrize("path", _corpus_entries(),
+                         ids=[p.stem for p in _corpus_entries()])
+def test_corpus_replays_on_forced_vector_engine(path):
+    """Single-machine entries replay identically when the NumPy vector
+    engine is forced (no silent fallback to the lanes engine)."""
+    entry = _load(path)
+    system = compile_flow(entry["source"], flow=entry["flow"]).system
+    batch = simulate_batched(
+        system, [tuple(args) for args in entry["lanes"]],
+        max_cycles=entry["max_cycles"], engine="vector",
+    )
+    for i, (lane, pinned) in enumerate(zip(batch.lanes,
+                                           entry["expected"])):
+        assert _canonical(_batch_outcome(lane)) == _canonical(pinned), (
+            f"{path.name} lane {i} drifted under the vector engine"
+        )
+
+
+def test_corpus_is_populated():
+    entries = [_load(p) for p in _corpus_entries()]
+    assert len(entries) >= 6
+    # Every divergence family is represented: mixed ok/error batches,
+    # budget exhaustion, and observable global state.
+    assert any(
+        {e["ok"] for e in entry["expected"]} == {True, False}
+        for entry in entries
+    )
+    assert any(
+        "budget" in (e.get("error") or "")
+        for entry in entries for e in entry["expected"]
+    )
+    assert any(
+        e["ok"] and e["globals"]
+        for entry in entries for e in entry["expected"]
+    )
