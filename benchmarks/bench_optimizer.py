@@ -1,15 +1,22 @@
-"""E11 (ablation) — what the classic middle-end buys an HLS compiler.
+"""E11 (ablation) and E19 (opt levels) — what the mid-end buys an HLS compiler.
 
 The paper notes that C's efficiency promises "demand compilers with
 aggressive optimization".  DESIGN.md decision: every scheduled flow runs
-the fold/CSE/DCE/CFG-simplify pipeline before scheduling.  This ablation
-measures what that pipeline is worth, per workload: operation count,
+the fold/CSE/DCE/CFG-simplify pipeline before scheduling.  E11 measures
+what that classic pipeline is worth, per workload: operation count,
 cycle count, and estimated area with the optimizer on vs off.
+
+E19 measures the next tier: the liveness-driven fixpoint pipeline
+(opt_level=2 — copy propagation, chain load/store elimination,
+dead-variable elimination) against the classic default (opt_level=1),
+swept over the full workload × flow matrix through the same engine as
+``repro sweep``.  Both exhibits land in ``benchmarks/results/``.
 """
 
 import pytest
 
 from repro.analysis.pointer import plan_pointers
+from repro.runner import OK, suite_tasks
 from repro.binding import estimate_cost
 from repro.ir import build_function
 from repro.ir.passes import inline_program, optimize
@@ -78,3 +85,72 @@ def test_optimizer_ablation(benchmark, save_report):
     # Op counts shrink essentially everywhere.
     shrunk = sum(1 for r in rows if r[2] <= r[1])
     assert shrunk == len(rows)
+
+
+# ---------------------------------------------------------------- E19
+
+
+def _level_sweep(engine):
+    base = engine.run_cells(suite_tasks(opt_level=1))
+    opt = engine.run_cells(suite_tasks(opt_level=2))
+    return base, opt
+
+
+def test_opt_level_matrix_deltas(benchmark, save_report, sweep_runner):
+    """E19: the fixpoint mid-end vs the classic loop, over the matrix.
+
+    Acceptance: zero verdict regressions anywhere, cycles never worse on
+    any OK cell, and a measurable cycle or area win on at least three
+    (flow × workload) cells."""
+    engine = sweep_runner(jobs=4)
+    base, opt = benchmark.pedantic(
+        _level_sweep, args=(engine,), rounds=1, iterations=1
+    )
+    base_by = {(r.workload, r.flow): r for r in base}
+
+    rows = []
+    improved = 0
+    regressions = []
+    cycle_regressions = []
+    for cell in opt:
+        ref = base_by[(cell.workload, cell.flow)]
+        if cell.verdict != ref.verdict:
+            regressions.append(
+                (cell.workload, cell.flow, ref.verdict, cell.verdict)
+            )
+            continue
+        if cell.verdict != OK:
+            continue
+        cycle_delta = ref.cycles - cell.cycles
+        area_delta = ref.area_ge - cell.area_ge
+        if cycle_delta < 0:
+            cycle_regressions.append((cell.workload, cell.flow, -cycle_delta))
+        if cycle_delta > 0 or area_delta > 0.5:
+            improved += 1
+            rows.append([
+                cell.workload, cell.flow,
+                ref.cycles, cell.cycles,
+                f"{ref.area_ge:.0f}", f"{cell.area_ge:.0f}",
+                f"-{cycle_delta}" if cycle_delta else "=",
+                f"-{area_delta:.0f}" if area_delta > 0.5 else "=",
+            ])
+
+    ok_cells = sum(1 for c in opt if c.verdict == OK)
+    rows.sort(key=lambda r: (r[1], r[0]))
+    text = format_table(
+        ["workload", "flow", "cyc L1", "cyc L2", "area L1", "area L2",
+         "cyc delta", "area delta"],
+        rows,
+        title=(
+            f"E19: liveness fixpoint (opt_level=2) vs classic loop "
+            f"(opt_level=1) — {improved}/{ok_cells} OK cells improved, "
+            f"{len(regressions)} verdict regressions"
+        ),
+    )
+    save_report("e19_optimizer_levels", text)
+
+    assert not regressions, regressions
+    assert not cycle_regressions, cycle_regressions
+    assert improved >= 3, (
+        f"expected >= 3 improved cells, got {improved}"
+    )

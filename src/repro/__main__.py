@@ -36,7 +36,8 @@ Commands
     feasibility, rendezvous deadlock shape, lockstep ``par`` conflicts,
     memory-port occupancy, pipeline II floors with ``--pipeline-ii``).
 ``fuzz [--flows ...] [--seeds N] [--seed-base N] [--time-budget S]
-[--jobs N] [--no-reduce] [--update-corpus] [--corpus-dir D]``
+[--jobs N] [--no-reduce] [--update-corpus] [--corpus-dir D]
+[--opt-levels 0,2]``
     Differential fuzz campaign: generate programs targeted at each flow's
     accepted subset (every fourth seed probes the reject boundary), derive
     semantics-preserving mutants, run everything through the shared
@@ -279,7 +280,8 @@ def cmd_matrix(options: argparse.Namespace) -> int:
 
     tasks = file_tasks(source, name=options.file, flows=selected,
                        function=options.function, args=args,
-                       sim_backend=options.sim_backend)
+                       sim_backend=options.sim_backend,
+                       opt_level=options.opt_level)
     results = engine.run_cells(tasks)
     print(format_cell_results(results + lint_cells, show_workload=False))
     if options.trace_summary:
@@ -316,7 +318,8 @@ def cmd_sweep(options: argparse.Namespace) -> int:
 
     engine = _make_engine(options)
     tasks = suite_tasks(workloads=workloads, flows=flows,
-                        sim_backend=options.sim_backend)
+                        sim_backend=options.sim_backend,
+                        opt_level=options.opt_level)
     results = engine.run_cells(tasks)
     print(format_cell_results(
         results,
@@ -351,6 +354,17 @@ def cmd_fuzz(options: argparse.Namespace) -> int:
 
         cache_dir = Path(options.cache_dir or DEFAULT_CACHE_DIR)
 
+    opt_levels = ()
+    if options.opt_levels:
+        try:
+            opt_levels = tuple(
+                int(part) for part in options.opt_levels.split(",") if part
+            )
+        except ValueError:
+            print(f"error: bad --opt-levels {options.opt_levels!r}",
+                  file=sys.stderr)
+            return 2
+
     config = CampaignConfig(
         flows=flows,
         seeds=options.seeds,
@@ -363,6 +377,7 @@ def cmd_fuzz(options: argparse.Namespace) -> int:
         corpus_dir=Path(options.corpus_dir),
         sim_backend=options.sim_backend,
         input_lanes=max(1, options.input_lanes),
+        opt_levels=opt_levels,
     )
     report = run_campaign(config)
     print("\n".join(report.summary_lines()))
@@ -471,6 +486,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace every cell and print the per-flow,"
                             " per-phase wall-time table")
 
+    def add_opt_level_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--opt-level", type=int, default=None, metavar="N",
+            help="IR optimization level for every cell (default: the"
+                 " flows' own default; 2 = liveness fixpoint pipeline;"
+                 " part of the cache key)",
+        )
+
     matrix_parser = sub.add_parser("matrix", help="all flows on one program")
     matrix_parser.add_argument("file")
     matrix_parser.add_argument("--function", default="main")
@@ -486,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
              " meet",
     )
     add_runner_flags(matrix_parser)
+    add_opt_level_flag(matrix_parser)
     matrix_parser.set_defaults(handler=cmd_matrix)
 
     sweep_parser = sub.add_parser(
@@ -498,6 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workloads", help="comma-separated workload names (default: all)"
     )
     add_runner_flags(sweep_parser)
+    add_opt_level_flag(sweep_parser)
     sweep_parser.set_defaults(handler=cmd_sweep)
 
     lint_parser = sub.add_parser(
@@ -570,6 +595,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="argument sets simulated per clean program (default 1);"
              " combine with --sim-backend batched to run them as one"
              " lockstep batch per program",
+    )
+    fuzz_parser.add_argument(
+        "--opt-levels", default="", metavar="L,L",
+        help="cross-level mode: comma-separated opt_levels (e.g. 0,2);"
+             " every clean program also compiles and runs at each listed"
+             " level, and any divergence from the default-level cell is"
+             " triaged as an opt-diverge finding",
     )
     add_runner_flags(fuzz_parser)
     fuzz_parser.set_defaults(handler=cmd_fuzz)

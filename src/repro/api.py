@@ -31,6 +31,11 @@ from typing import Dict, Optional, Sequence, Tuple
 from .rtl.tech import Technology
 from .trace import TraceContext, ensure_trace
 
+#: The opt_level every entry point assumes when none is given: the
+#: classic fold/CSE/DCE/simplify loop.  Level 2 (the liveness-driven
+#: fixpoint pipeline) is opt-in; see docs/optimizer.md.
+DEFAULT_OPT_LEVEL = 1
+
 #: kwargs of the legacy signatures that map onto SynthesisOptions fields
 #: rather than flow-specific compile options.
 _FIELD_KWARGS = (
@@ -77,10 +82,12 @@ class SynthesisOptions:
         runs a one-lane batch, and it unlocks
         :meth:`SynthesisResult.run_batch` plus runner/fuzz batching).
     opt_level:
-        IR optimization effort: 0 = none, 1 = one fold/CSE/DCE/simplify
-        sweep, 2 = to a fixed point (the default, and the historical
-        behaviour), 3 = fixed point plus bit-width narrowing where the
-        flow supports it.
+        IR optimization effort: 0 = none, 1 = the classic
+        fold/CSE/DCE/simplify loop (the default), 2 = the
+        liveness-driven fixpoint pipeline (adds copy propagation, chain
+        load/store elimination, and dead-variable elimination; see
+        docs/optimizer.md), 3 = level 2 plus bit-width narrowing where
+        the flow supports it.
     trace:
         Create a :class:`~repro.trace.TraceContext` for this synthesis.
         Excluded from :meth:`identity`: tracing observes, never steers.
@@ -101,7 +108,7 @@ class SynthesisOptions:
     flow: str = "c2verilog"
     function: str = "main"
     sim_backend: str = "interp"
-    opt_level: int = 2
+    opt_level: int = DEFAULT_OPT_LEVEL
     trace: bool = False
     tech: Optional[Technology] = None
     check: bool = False

@@ -67,7 +67,7 @@ class C2VerilogFlow(Flow):
         pointer_analysis: bool = True,
         recursion_depth: int = 32,
         narrow: bool = False,
-        opt_level: int = 2,
+        opt_level: int = 1,
         trace=None,
         **options,
     ) -> CompiledDesign:

@@ -37,7 +37,7 @@ from ..ir import build_function
 from ..ir.cdfg import FunctionCDFG
 from ..ir.ops import VReg
 from ..ir.passes import inline_program
-from ..ir.passes.pipeline import optimize
+from ..ir.passes.fixpoint import optimize_cdfg
 from ..rtl.tech import DEFAULT_TECH, Technology
 from ..scheduling.resources import op_area_ge
 from ..sim.async_sim import AsyncSimulator
@@ -209,7 +209,7 @@ class CashFlow(Flow):
         function: str = "main",
         tech: Technology = DEFAULT_TECH,
         pointer_analysis: bool = True,
-        opt_level: int = 2,
+        opt_level: int = 1,
         trace=None,
         **options,
     ) -> CompiledDesign:
@@ -235,8 +235,7 @@ class CashFlow(Flow):
             cdfg = build_function(fn, info, plan)
             t.count(ops=cdfg.op_count())
         with t.span("passes", cat="phase"):
-            optimize(cdfg, max_iterations={0: 0, 1: 1}.get(opt_level, 8),
-                     trace=trace)
+            optimize_cdfg(cdfg, opt_level=opt_level, trace=trace)
         return CashDesign(
             name=function,
             cdfg=cdfg,

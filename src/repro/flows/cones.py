@@ -50,7 +50,7 @@ from ..ir.astutils import fresh_symbol
 from ..ir.cdfg import BasicBlock, FunctionCDFG
 from ..ir.ops import Branch, Const, Jump, Operand, Operation, OpKind, Ret, VReg, VarRead
 from ..ir.passes import inline_program, try_full_unroll
-from ..ir.passes.pipeline import optimize
+from ..ir.passes.fixpoint import optimize_cdfg
 from ..rtl.combinational import CombinationalNetlist, evaluate
 from ..rtl.tech import DEFAULT_TECH, Technology
 from ..trace import ensure_trace
@@ -424,7 +424,7 @@ class ConesFlow(Flow):
         function: str = "main",
         tech: Technology = DEFAULT_TECH,
         max_unroll: int = 4096,
-        opt_level: int = 2,
+        opt_level: int = 1,
         trace=None,
         **options,
     ) -> CompiledDesign:
@@ -461,8 +461,7 @@ class ConesFlow(Flow):
             cdfg = build_function(fn, info, plan)
             t.count(ops=cdfg.op_count())
         with t.span("passes", cat="phase"):
-            optimize(cdfg, max_iterations={0: 0, 1: 1}.get(opt_level, 8),
-                     trace=trace)
+            optimize_cdfg(cdfg, opt_level=opt_level, trace=trace)
         with t.span("flatten", cat="phase"):
             netlist = _Flattener(cdfg, info.global_inits).flatten()
             t.count(netlist_ops=netlist.op_count)

@@ -670,7 +670,7 @@ class HandelCFlow(Flow):
         info: SemanticInfo,
         function: str = "main",
         tech: Technology = DEFAULT_TECH,
-        opt_level: int = 2,
+        opt_level: int = 1,
         trace=None,
         **options,
     ) -> CompiledDesign:

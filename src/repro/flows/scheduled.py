@@ -24,7 +24,7 @@ from ..ir import build_function
 from ..ir.cdfg import FunctionCDFG
 from ..ir.ops import OpKind
 from ..ir.passes import inline_program
-from ..ir.passes.pipeline import optimize
+from ..ir.passes.fixpoint import optimize_cdfg
 from ..lang import ast_nodes as ast
 from ..lang.semantic import SemanticInfo
 from ..lang.symtab import SymbolKind
@@ -322,7 +322,7 @@ def synthesize_fsmd_system(
     enforce_constraints: bool = True,
     plan_override: Optional[Callable[[ast.FunctionDef], PointerPlan]] = None,
     narrow: bool = False,
-    opt_level: int = 2,
+    opt_level: int = 1,
     trace=None,
 ) -> FSMDDesign:
     """The common scheduled-flow pipeline:
@@ -331,9 +331,11 @@ def synthesize_fsmd_system(
     schedule (list or chain) -> FSMD, for the entry function and each
     ``process``.
 
-    ``opt_level`` sets IR optimization effort: 0 = none, 1 = one sweep,
-    2 = to a fixed point (the historical behaviour), >= 3 adds bit-width
-    narrowing.  ``trace`` receives one phase span per stage.
+    ``opt_level`` sets IR optimization effort: 0 = none, 1 = the classic
+    fold/CSE/DCE/simplify loop (the default), 2 = the liveness-driven
+    fixpoint pipeline (adds copy propagation, chain load/store
+    elimination, and dead-variable elimination), >= 3 adds bit-width
+    narrowing on top.  ``trace`` receives one phase span per stage.
     """
     t = ensure_trace(trace)
     roots = _roots_of(program, function)
@@ -344,7 +346,6 @@ def synthesize_fsmd_system(
         )
         t.count(calls_inlined=inline_stats.calls_inlined,
                 truncated=inline_stats.truncated_calls)
-    max_opt_iterations = {0: 0, 1: 1}.get(opt_level, 8)
     narrow = narrow or opt_level >= 3
     artifacts: List[SynthesisArtifacts] = []
     memory_images = {}
@@ -360,7 +361,7 @@ def synthesize_fsmd_system(
             cdfg = build_function(fn, info, plan)
             t.count(ops=cdfg.op_count(), blocks=len(cdfg.blocks))
         with t.span("passes", cat="phase"):
-            optimize(cdfg, max_iterations=max_opt_iterations, trace=trace)
+            optimize_cdfg(cdfg, opt_level=opt_level, trace=trace)
             if narrow:
                 from ..ir.passes.narrow import narrow_widths
 

@@ -54,7 +54,7 @@ class SpecCFlow(Flow):
         resources: ResourceSet = None,
         clock_ns: float = 5.0,
         tech: Technology = DEFAULT_TECH,
-        opt_level: int = 2,
+        opt_level: int = 1,
         trace=None,
         **options,
     ) -> CompiledDesign:

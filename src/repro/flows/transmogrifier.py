@@ -156,7 +156,7 @@ class TransmogrifierFlow(Flow):
         info: SemanticInfo,
         function: str = "main",
         tech: Technology = DEFAULT_TECH,
-        opt_level: int = 2,
+        opt_level: int = 1,
         trace=None,
         **options,
     ) -> CompiledDesign:

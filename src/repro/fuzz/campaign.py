@@ -55,6 +55,7 @@ from .signature import (
     KIND_LINT_DISAGREE,
     KIND_METAMORPHIC,
     KIND_MISMATCH,
+    KIND_OPT_DIVERGE,
     KIND_TIMEOUT,
 )
 
@@ -89,6 +90,11 @@ class CampaignConfig:
     # sim_backend="batched" the engine coalesces them into one lockstep
     # batch cell, which is where campaign throughput comes from.
     input_lanes: int = 1
+    # Cross-level mode: each clean program additionally compiles and runs
+    # at every listed opt_level, and any divergence from the default-level
+    # cell (verdict class, value, observable) is triaged as an
+    # "opt-diverge" finding whose rule names the level pair.  Empty = off.
+    opt_levels: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -97,6 +103,7 @@ class FlowStats:
     boundary_seeds: int = 0
     mutants: int = 0
     lanes: int = 0                          # extra per-program input lanes
+    opt_cells: int = 0                      # cross-level opt_level variants
     ok: int = 0
     expected_rejections: int = 0
     mutant_rejections: int = 0              # benign: mutant crossed a boundary
@@ -196,10 +203,39 @@ def _lane_count(item: _WorkItem, input_lanes: int) -> int:
     return max(0, input_lanes - 1)
 
 
+def _opt_count(item: _WorkItem, opt_levels: Tuple[int, ...]) -> int:
+    """Extra per-opt_level tasks for one item.  Boundary probes are
+    skipped: their point is the rejection, which the cross-level corpus
+    replay already pins as level-invariant."""
+    if item.program.is_boundary:
+        return 0
+    return len(opt_levels)
+
+
+def _opt_rule(level: int) -> str:
+    """The signature rule naming one cross-level comparison, default
+    level on the left: ``opt1-vs-opt2``."""
+    from ..api import DEFAULT_OPT_LEVEL
+
+    return f"opt{DEFAULT_OPT_LEVEL}-vs-opt{level}"
+
+
+def _parse_opt_rule(rule: str) -> Optional[Tuple[int, int]]:
+    """Invert :func:`_opt_rule`; None when the rule is not level-shaped."""
+    try:
+        left, right = rule.split("-vs-")
+        if not (left.startswith("opt") and right.startswith("opt")):
+            return None
+        return int(left[3:]), int(right[3:])
+    except (ValueError, AttributeError):
+        return None
+
+
 def _tasks_for(
     item: _WorkItem,
     sim_backend: str = "interp",
     input_lanes: int = 1,
+    opt_levels: Tuple[int, ...] = (),
 ) -> List[CellTask]:
     program = item.program
     tasks = [
@@ -221,6 +257,18 @@ def _tasks_for(
                 sim_backend=sim_backend,
             )
         )
+    if _opt_count(item, opt_levels):
+        for level in opt_levels:
+            tasks.append(
+                CellTask(
+                    workload=f"{program.name}-opt{level}",
+                    source=program.source,
+                    flow=program.flow,
+                    args=program.args,
+                    options=CellTask.make_options({"opt_level": int(level)}),
+                    sim_backend=sim_backend,
+                )
+            )
     for mutant in item.mutant_list:
         tasks.append(
             CellTask(
@@ -235,16 +283,19 @@ def _tasks_for(
 
 
 def _classify_item(
-    item: _WorkItem, results, stats: FlowStats, input_lanes: int = 1
+    item: _WorkItem, results, stats: FlowStats, input_lanes: int = 1,
+    opt_levels: Tuple[int, ...] = (),
 ) -> List[Divergence]:
-    """Judge one program (and its lanes and mutants) from its cell
-    results, in :func:`_tasks_for` order: original, extra input lanes,
-    then mutants."""
+    """Judge one program (and its lanes, opt_level variants, and mutants)
+    from its cell results, in :func:`_tasks_for` order: original, extra
+    input lanes, cross-level variants, then mutants."""
     program = item.program
     original = results[0]
     lane_count = _lane_count(item, input_lanes)
+    opt_count = _opt_count(item, opt_levels)
     lane_results = results[1:1 + lane_count]
-    mutant_results = results[1 + lane_count:]
+    opt_results = results[1 + lane_count:1 + lane_count + opt_count]
+    mutant_results = results[1 + lane_count + opt_count:]
     found: List[Divergence] = []
 
     def divergence(kind: str, **kwargs) -> Divergence:
@@ -335,6 +386,40 @@ def _classify_item(
             }},
         ))
 
+    for level, result in zip(opt_levels, opt_results):
+        stats.opt_cells += 1
+        rule = _opt_rule(level)
+        if result.verdict != original.verdict:
+            found.append(divergence(
+                KIND_OPT_DIVERGE,
+                rule=rule,
+                detail=(
+                    f"opt_level={level} turned verdict "
+                    f"{original.verdict} into {result.verdict}: "
+                    f"{result.note(40)}"
+                ),
+                extra={"expect": {
+                    "verdict": result.verdict,
+                    "base_verdict": original.verdict,
+                }},
+            ))
+        elif original.verdict == OK and (
+            result.observable != original.observable
+        ):
+            found.append(divergence(
+                KIND_OPT_DIVERGE,
+                rule=rule,
+                detail=(
+                    f"opt_level={level} changed observables: "
+                    f"value {original.value} vs {result.value}"
+                ),
+                extra={"expect": {
+                    "verdict": result.verdict,
+                    "value": result.value,
+                    "base_value": original.value,
+                }},
+            ))
+
     for mutant, result in zip(item.mutant_list, mutant_results):
         stats.mutants += 1
         if result.verdict == OK:
@@ -413,6 +498,30 @@ def reduction_predicate(
 
     if kind == KIND_METAMORPHIC:
         return None         # needs the (original, mutant) pair; not reduced
+
+    if kind == KIND_OPT_DIVERGE:
+        levels = _parse_opt_rule(rule)
+        if levels is None:
+            return None
+
+        def run_at(source: str, level: int):
+            task = CellTask(
+                workload="reduce", source=source, flow=flow,
+                args=divergence.args,
+                options=CellTask.make_options({"opt_level": level}),
+                sim_backend=sim_backend,
+            )
+            return engine.run_cells([task])[0]
+
+        def predicate(source: str) -> bool:
+            base = run_at(source, levels[0])
+            opt = run_at(source, levels[1])
+            if base.verdict != opt.verdict:
+                return True
+            return (
+                base.verdict == OK and base.observable != opt.observable
+            )
+        return predicate
 
     def predicate(source: str) -> bool:
         result = run(source)
@@ -514,7 +623,8 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
         spans: List[Tuple[_WorkItem, int, int]] = []
         for entry in batch_items:
             entry_tasks = _tasks_for(
-                entry, config.sim_backend, config.input_lanes
+                entry, config.sim_backend, config.input_lanes,
+                tuple(config.opt_levels),
             )
             spans.append((entry, len(tasks), len(tasks) + len(entry_tasks)))
             tasks.extend(entry_tasks)
@@ -523,13 +633,15 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
         for entry, lo, hi in spans:
             stats = report.stats[entry.program.flow]
             raw.extend(_classify_item(
-                entry, results[lo:hi], stats, config.input_lanes
+                entry, results[lo:hi], stats, config.input_lanes,
+                tuple(config.opt_levels),
             ))
 
     for item in items:
         batch.append(item)
         if sum(
-            1 + _lane_count(b, config.input_lanes) + len(b.mutant_list)
+            1 + _lane_count(b, config.input_lanes)
+            + _opt_count(b, tuple(config.opt_levels)) + len(b.mutant_list)
             for b in batch
         ) >= config.batch_size:
             flush(batch)

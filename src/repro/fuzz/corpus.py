@@ -28,6 +28,7 @@ from .signature import (
     Divergence,
     KIND_LINT_DISAGREE,
     KIND_METAMORPHIC,
+    KIND_OPT_DIVERGE,
     Signature,
     program_hash,
 )
@@ -150,12 +151,17 @@ class Corpus:
 # -- replay -------------------------------------------------------------------
 
 def _flow_result(engine: MatrixEngine, entry: CorpusEntry, source: str,
-                 sim_backend: str = "interp"):
+                 sim_backend: str = "interp",
+                 opt_level: Optional[int] = None):
+    options: Tuple[Tuple[str, object], ...] = ()
+    if opt_level is not None:
+        options = CellTask.make_options({"opt_level": int(opt_level)})
     task = CellTask(
         workload=f"corpus-{entry.program_hash}",
         source=source,
         flow=entry.flow,
         args=tuple(entry.args),
+        options=options,
         sim_backend=sim_backend,
     )
     return engine.run_cells([task])[0]
@@ -165,18 +171,25 @@ def replay_entry(
     entry: CorpusEntry,
     engine: Optional[MatrixEngine] = None,
     sim_backend: str = "interp",
+    opt_level: Optional[int] = None,
 ) -> Tuple[bool, str]:
     """Re-run one corpus entry's recorded check.
 
     Returns ``(True, detail)`` when the pinned behaviour still holds and
     ``(False, why)`` when it changed — either the bug was fixed (delete or
     refresh the entry deliberately) or behaviour drifted (investigate).
+
+    ``opt_level`` overrides the mid-end effort (None = the pinned
+    default); the cross-level replay suite uses it to assert the corpus
+    reproduces at every optimization level.
     """
     engine = engine or MatrixEngine(jobs=1, cache=None)
 
     if entry.kind == KIND_METAMORPHIC:
-        original = _flow_result(engine, entry, entry.original_source, sim_backend)
-        mutant = _flow_result(engine, entry, entry.source, sim_backend)
+        original = _flow_result(engine, entry, entry.original_source,
+                                sim_backend, opt_level)
+        mutant = _flow_result(engine, entry, entry.source, sim_backend,
+                              opt_level)
         if REJECTED in (original.verdict, mutant.verdict):
             return False, (
                 f"flow now rejects one side (original={original.verdict}, "
@@ -194,7 +207,8 @@ def replay_entry(
 
         report = lint(entry.source, flow=entry.flow)
         clean = report.is_clean(entry.flow)
-        result = _flow_result(engine, entry, entry.source, sim_backend)
+        result = _flow_result(engine, entry, entry.source, sim_backend,
+                              opt_level)
         compiled = result.verdict != REJECTED
         if clean != compiled:
             return True, (
@@ -203,9 +217,31 @@ def replay_entry(
             )
         return False, "lint and compile verdicts now agree"
 
+    if entry.kind == KIND_OPT_DIVERGE:
+        from .campaign import _parse_opt_rule
+
+        levels = _parse_opt_rule(entry.rule)
+        if levels is None:
+            return False, f"malformed opt-diverge rule {entry.rule!r}"
+        base = _flow_result(engine, entry, entry.source, sim_backend,
+                            levels[0])
+        opt = _flow_result(engine, entry, entry.source, sim_backend,
+                           levels[1])
+        if base.verdict != opt.verdict:
+            return True, (
+                f"levels still disagree on verdict: "
+                f"opt{levels[0]}={base.verdict}, opt{levels[1]}={opt.verdict}"
+            )
+        if base.verdict == "ok" and base.observable != opt.observable:
+            return True, (
+                f"levels still disagree on observables: "
+                f"{base.value} vs {opt.value}"
+            )
+        return False, "opt levels now agree — divergence gone"
+
     # Engine-verdict kinds (mismatch / error / timeout): the pinned verdict
     # must persist.
-    result = _flow_result(engine, entry, entry.source, sim_backend)
+    result = _flow_result(engine, entry, entry.source, sim_backend, opt_level)
     expected_verdict = str(entry.expect.get("verdict", entry.kind))
     if result.verdict != expected_verdict:
         return False, (

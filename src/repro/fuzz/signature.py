@@ -25,12 +25,13 @@ from ..runner.cache import normalized_source
 # Divergence kinds, in decreasing order of severity.
 KIND_MISMATCH = "mismatch"        # flow ran but disagrees with the interpreter
 KIND_METAMORPHIC = "metamorphic"  # mutant disagrees with original on same flow
+KIND_OPT_DIVERGE = "opt-diverge"  # same program, different opt_level, differs
 KIND_ERROR = "error"              # flow crashed (not a FlowError rejection)
 KIND_TIMEOUT = "timeout"          # flow blew the per-cell deadline
 KIND_LINT_DISAGREE = "lint-disagree"  # linter and compiler verdicts differ
 
-KINDS = (KIND_MISMATCH, KIND_METAMORPHIC, KIND_ERROR, KIND_TIMEOUT,
-         KIND_LINT_DISAGREE)
+KINDS = (KIND_MISMATCH, KIND_METAMORPHIC, KIND_OPT_DIVERGE, KIND_ERROR,
+         KIND_TIMEOUT, KIND_LINT_DISAGREE)
 
 
 def program_hash(source: str) -> str:

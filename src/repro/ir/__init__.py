@@ -18,6 +18,14 @@ from .cdfg import (
     TimingConstraint,
     validate,
 )
+from .liveness import (
+    LivenessInfo,
+    block_use_def,
+    compute_liveness,
+    op_def,
+    op_var_uses,
+    op_vreg_uses,
+)
 from .ops import (
     Branch,
     Const,
@@ -40,6 +48,7 @@ __all__ = [
     "Const",
     "FunctionCDFG",
     "Jump",
+    "LivenessInfo",
     "ModuleCDFG",
     "OpKind",
     "Operand",
@@ -49,9 +58,14 @@ __all__ = [
     "TimingConstraint",
     "VReg",
     "VarRead",
+    "block_use_def",
     "build_function",
     "build_module",
+    "compute_liveness",
     "fresh_symbol",
     "make_identifier",
+    "op_def",
+    "op_var_uses",
+    "op_vreg_uses",
     "validate",
 ]

@@ -12,28 +12,62 @@ CDFG-level passes (run on the built graph):
 * :mod:`.constfold` — constant folding and algebraic identities;
 * :mod:`.cse` — common-subexpression elimination within blocks;
 * :mod:`.dce` — dead-code elimination;
-* :mod:`.simplify` — CFG cleanup (jump threading, empty-block removal).
+* :mod:`.simplify` — CFG cleanup (jump threading, empty-block removal);
+* :mod:`.copyprop` — copy propagation (identity casts, constant selects,
+  self-latches);
+* :mod:`.memchain` — chain load/store elimination (store-to-load
+  forwarding, redundant-store removal);
+* :mod:`.deadvar` — liveness-driven dead-variable elimination
+  (:mod:`repro.ir.liveness`).
+
+Drivers:
+
+* :func:`.pipeline.optimize` — the classic fold/CSE/DCE/simplify loop
+  (opt_level 1);
+* :func:`.fixpoint.run_fixpoint` — the full pass list with cached
+  liveness, applied until quiescent (opt_level 2);
+* :func:`.fixpoint.optimize_cdfg` — the opt_level dispatch flows call.
 """
 
 from .inline import inline_program, InlineStats
 from .unroll import unroll_loops, try_full_unroll
 from .constfold import fold_constants
+from .copyprop import propagate_copies
 from .cse import eliminate_common_subexpressions
 from .dce import eliminate_dead_code
+from .deadvar import eliminate_dead_variables
+from .memchain import eliminate_load_store_chains
 from .narrow import NarrowReport, narrow_widths
 from .simplify import simplify_cfg
 from .pipeline import optimize, OptimizationReport
+from .fixpoint import (
+    DEFAULT_MAX_ITERATIONS,
+    FIXPOINT_PASSES,
+    FixpointReport,
+    PassSpec,
+    optimize_cdfg,
+    run_fixpoint,
+)
 
 __all__ = [
+    "DEFAULT_MAX_ITERATIONS",
+    "FIXPOINT_PASSES",
+    "FixpointReport",
     "InlineStats",
     "NarrowReport",
     "narrow_widths",
     "OptimizationReport",
+    "PassSpec",
     "eliminate_common_subexpressions",
     "eliminate_dead_code",
+    "eliminate_dead_variables",
+    "eliminate_load_store_chains",
     "fold_constants",
     "inline_program",
     "optimize",
+    "optimize_cdfg",
+    "propagate_copies",
+    "run_fixpoint",
     "simplify_cfg",
     "try_full_unroll",
     "unroll_loops",

@@ -1,0 +1,97 @@
+"""Copy propagation within basic blocks.
+
+Three flavors of copies the builder and earlier passes leave behind:
+
+* **identity casts** — ``%x = cast(%y)`` where ``%y`` already has the
+  destination type.  The cast's wrap is a no-op on any value that is
+  in-range for its static type, which holds for Consts, VarReads (the
+  register wrapped at latch time), and every VReg *except* LOAD/RECV
+  results: a load returns the raw memory word, so identity casts of
+  load results are kept.
+* **constant selects** — ``select(c, v, v)`` with both arms identical
+  (same operand key) and arm type equal to the destination type
+  collapses to ``v``.
+* **self-latches** — ``v <- VarRead(v)`` writes a register with its own
+  entry value; deleting the latch is observationally identical for
+  locals.  Globals keep theirs: in a lockstep multi-process design the
+  write participates in same-cycle conflict resolution.
+
+Replaced destinations are rewritten through the rest of the block, its
+latches, and its terminator, exactly like CSE's replacement map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ...lang.symtab import SymbolKind
+from ..cdfg import BasicBlock, FunctionCDFG
+from ..ops import Branch, Operand, OpKind, Ret, VReg, VarRead
+from .cse import _operand_key
+
+
+def _copyprop_block(block: BasicBlock) -> int:
+    removed = 0
+    replacements: Dict[VReg, Operand] = {}
+    raw_values: Set[VReg] = set()  # LOAD/RECV dests: possibly out-of-range
+    kept = []
+
+    def substitute(operand: Operand) -> Operand:
+        if isinstance(operand, VReg):
+            return replacements.get(operand, operand)
+        return operand
+
+    def is_wrapped(operand: Operand) -> bool:
+        return not (isinstance(operand, VReg) and operand in raw_values)
+
+    for op in block.ops:
+        op.operands = [substitute(o) for o in op.operands]
+        if op.kind in (OpKind.LOAD, OpKind.RECV) and op.dest is not None:
+            raw_values.add(op.dest)
+        if op.dest is None:
+            kept.append(op)
+            continue
+        forward = None
+        if op.kind is OpKind.CAST:
+            source = op.operands[0]
+            if source.type == op.dest.type and is_wrapped(source):
+                forward = source
+        elif op.kind is OpKind.SELECT:
+            if_true, if_false = op.operands[1], op.operands[2]
+            if (
+                _operand_key(if_true) == _operand_key(if_false)
+                and if_true.type == op.dest.type
+                and is_wrapped(if_true)
+            ):
+                forward = if_true
+        if forward is not None:
+            replacements[op.dest] = forward
+            removed += 1
+            continue
+        kept.append(op)
+
+    block.ops = kept
+    block.var_writes = {
+        var: substitute(value) for var, value in block.var_writes.items()
+    }
+    for var in [
+        v
+        for v, value in block.var_writes.items()
+        if isinstance(value, VarRead)
+        and value.var is v
+        and v.kind is not SymbolKind.GLOBAL
+    ]:
+        del block.var_writes[var]
+        removed += 1
+    terminator = block.terminator
+    if isinstance(terminator, Branch):
+        terminator.cond = substitute(terminator.cond)
+    elif isinstance(terminator, Ret) and terminator.value is not None:
+        terminator.value = substitute(terminator.value)
+    return removed
+
+
+def propagate_copies(cdfg: FunctionCDFG) -> int:
+    """Run block-local copy propagation; returns the number of copies
+    (operations plus self-latches) removed."""
+    return sum(_copyprop_block(block) for block in cdfg.blocks)

@@ -1,0 +1,52 @@
+"""Liveness-driven dead-variable elimination.
+
+:mod:`.dce` can only delete latches of variables that are never read
+*anywhere* in the function.  With liveness in hand we can do better: a
+latch ``v <- x`` in block B is dead whenever ``v`` is not live-out of B —
+every path from B's exit overwrites ``v`` before reading it.  Deleting
+the latch leaves the feeding operation for DCE to sweep.
+
+Globals and parameters are exempt, matching :mod:`.dce`'s stance:
+concurrent processes may read a global register at any cycle, and the
+final global values are part of every flow's observable result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...lang.symtab import SymbolKind
+from ..cdfg import FunctionCDFG
+from ..liveness import LivenessInfo, compute_liveness
+
+
+def eliminate_dead_variables(
+    cdfg: FunctionCDFG, liveness: Optional[LivenessInfo] = None
+) -> int:
+    """Delete latches whose variable is dead at block exit.
+
+    Returns the number of latches removed.  After removals the supplied
+    ``liveness`` is still a safe *over*-approximation (deleting a latch
+    only removes uses), but it may hide newly-dead chains — the fixpoint
+    driver recomputes liveness whenever this pass reports a change so the
+    converged CDFG is a true fixed point.
+    """
+    if liveness is None:
+        liveness = compute_liveness(cdfg)
+    keep = set(cdfg.params)
+    removed = 0
+    for block in cdfg.blocks:
+        out = liveness.live_out.get(block.id)
+        if out is None:  # unreachable block: leave it for simplify_cfg
+            continue
+        dead = [
+            var
+            for var in block.var_writes
+            if var.kind is not SymbolKind.GLOBAL
+            and var not in keep
+            and var not in out
+        ]
+        for var in dead:
+            del block.var_writes[var]
+            removed += 1
+    return removed

@@ -18,8 +18,10 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
 # Bumped whenever the on-disk result layout changes; stale cache entries
-# are treated as misses rather than migrated.
-SCHEMA_VERSION = 2
+# are treated as misses rather than migrated.  v3: the default opt_level
+# moved from the (renumbered) fixed-point pipeline to level 1, and level 2
+# now selects the liveness-driven fixpoint mid-end.
+SCHEMA_VERSION = 3
 
 # Verdicts, from best to worst.
 OK = "ok"                # compiled, simulated, observables match the golden model
@@ -85,10 +87,10 @@ class CellTask:
         ``opt_level`` rides inside the legacy ``options`` tuple for
         constructor compatibility; here it is lifted into its proper
         field and everything else becomes ``flow_options``."""
-        from ..api import SynthesisOptions
+        from ..api import DEFAULT_OPT_LEVEL, SynthesisOptions
 
         extra = self.options_dict()
-        opt_level = extra.pop("opt_level", 2)
+        opt_level = extra.pop("opt_level", DEFAULT_OPT_LEVEL)
         return SynthesisOptions(
             flow=self.flow,
             function=self.function,
@@ -101,8 +103,10 @@ class CellTask:
     def from_options(cls, workload: str, source: str, options,
                      args: Tuple[int, ...] = ()) -> "CellTask":
         """Build a task from a :class:`repro.api.SynthesisOptions`."""
+        from ..api import DEFAULT_OPT_LEVEL
+
         extra = dict(options.flow_options)
-        if options.opt_level != 2:
+        if options.opt_level != DEFAULT_OPT_LEVEL:
             extra["opt_level"] = options.opt_level
         return cls(
             workload=workload,

@@ -580,11 +580,22 @@ def _pool_context():
     )
 
 
+def _level_options(opt_level: Optional[int]) -> Tuple:
+    """The CellTask ``options`` tuple selecting ``opt_level`` (empty when
+    it is None or the default, keeping identities stable)."""
+    from ..api import DEFAULT_OPT_LEVEL
+
+    if opt_level is None or int(opt_level) == DEFAULT_OPT_LEVEL:
+        return ()
+    return CellTask.make_options({"opt_level": int(opt_level)})
+
+
 def suite_tasks(
     workloads=None,
     flows: Optional[Sequence[str]] = None,
     function: str = "main",
     sim_backend: str = "interp",
+    opt_level: Optional[int] = None,
 ) -> List[CellTask]:
     """CellTasks for a workload × flow cross product."""
     from ..flows import COMPILABLE
@@ -592,6 +603,7 @@ def suite_tasks(
 
     selected = list(workloads) if workloads is not None else list(WORKLOADS)
     flow_keys = list(flows) if flows is not None else list(COMPILABLE)
+    options = _level_options(opt_level)
     return [
         CellTask(
             workload=w.name,
@@ -599,6 +611,7 @@ def suite_tasks(
             flow=key,
             function=function,
             args=tuple(w.args),
+            options=options,
             sim_backend=sim_backend,
         )
         for w in selected
@@ -613,13 +626,16 @@ def file_tasks(
     function: str = "main",
     args: Sequence[int] = (),
     sim_backend: str = "interp",
+    opt_level: Optional[int] = None,
 ) -> List[CellTask]:
     """CellTasks running one program through many flows (the CLI matrix)."""
     from ..flows import COMPILABLE
 
     flow_keys = list(flows) if flows is not None else list(COMPILABLE)
+    options = _level_options(opt_level)
     return [
         CellTask(workload=name, source=source, flow=key,
-                 function=function, args=tuple(args), sim_backend=sim_backend)
+                 function=function, args=tuple(args), options=options,
+                 sim_backend=sim_backend)
         for key in flow_keys
     ]

@@ -111,6 +111,49 @@ def test_corpus_replays_on_forced_vector_engine(path):
         )
 
 
+@pytest.mark.parametrize("opt_level", [0, 2])
+@pytest.mark.parametrize("path", _corpus_entries(),
+                         ids=[p.stem for p in _corpus_entries()])
+def test_corpus_entry_replays_at_every_opt_level(path, opt_level):
+    """Lane outcomes are an optimization invariant.
+
+    With the mid-end off (0) or the liveness fixpoint on (2), each lane
+    must keep its pinned ok/error split, value, globals, and error kind.
+    Cycle counts are level-dependent by design, so they are compared
+    only directionally: the fixpoint pipeline may never be slower than
+    the pinned default-level count."""
+    from repro.api import SynthesisOptions, synthesize
+
+    entry = _load(path)
+    options = SynthesisOptions(
+        flow=entry["flow"], sim_backend="batched", opt_level=opt_level
+    )
+    design = synthesize(entry["source"], options).design
+    lanes = design.run_batch(
+        [tuple(args) for args in entry["lanes"]],
+        max_cycles=entry["max_cycles"], sim_backend="batched",
+    )
+    assert len(lanes) == len(entry["expected"])
+    for i, (lane, pinned) in enumerate(zip(lanes, entry["expected"])):
+        where = f"{path.name} lane {i} ({entry['lanes'][i]}) at L{opt_level}"
+        assert lane.ok == pinned["ok"], f"{where}: ok flipped"
+        if lane.ok:
+            assert lane.result.value == pinned["value"], f"{where}: value"
+            got_globals = {k: v for k, v in sorted(lane.result.globals.items())}
+            assert _canonical(got_globals) == _canonical(pinned["globals"]), (
+                f"{where}: globals"
+            )
+            if opt_level >= 2:
+                assert lane.result.cycles <= pinned["cycles"], (
+                    f"{where}: fixpoint regressed cycles "
+                    f"{pinned['cycles']} -> {lane.result.cycles}"
+                )
+        else:
+            assert lane.error_kind == pinned["error_kind"], (
+                f"{where}: error kind"
+            )
+
+
 def test_corpus_is_populated():
     entries = [_load(p) for p in _corpus_entries()]
     assert len(entries) >= 6

@@ -60,6 +60,21 @@ def test_entry_replays(signature_id, engine):
     )
 
 
+@pytest.mark.parametrize("opt_level", [0, 2])
+@pytest.mark.parametrize("signature_id", sorted(_entries))
+def test_entry_replays_at_every_opt_level(signature_id, opt_level, engine):
+    """The corpus pins flow bugs, not optimizer accidents: every entry
+    must keep reproducing with the mid-end off (0) and with the liveness
+    fixpoint pipeline on (2), exactly as it does at the default level."""
+    entry = _entries[signature_id]
+    reproduced, detail = replay_entry(entry, engine, opt_level=opt_level)
+    assert reproduced, (
+        f"{signature_id} stops reproducing at opt_level={opt_level}: "
+        f"{detail}\nAn optimization level must not mask or unmask a "
+        f"pinned flow divergence."
+    )
+
+
 @pytest.mark.parametrize("signature_id", sorted(_entries))
 def test_entry_is_statement_minimal(signature_id, engine):
     entry = _entries[signature_id]

@@ -26,6 +26,14 @@ def sweep():
     return {(r.workload, r.flow): r for r in results}
 
 
+@pytest.fixture(scope="module")
+def opt_sweep():
+    """The same matrix compiled through the opt_level=2 fixpoint mid-end."""
+    engine = MatrixEngine(jobs=4)
+    results = engine.run_cells(suite_tasks(opt_level=2))
+    return {(r.workload, r.flow): r for r in results}
+
+
 @pytest.mark.parametrize("workload,flow", _PAIRS,
                          ids=[f"{w}-{f}" for w, f in _PAIRS])
 def test_cell_matches_reference_interpreter(sweep, workload, flow):
@@ -56,3 +64,37 @@ def test_every_workload_compiles_somewhere(sweep):
     for spec in WORKLOADS:
         oks = [f for f in COMPILABLE if sweep[(spec.name, f)].verdict == OK]
         assert oks, f"{spec.name} compiled under no flow at all"
+
+
+@pytest.mark.parametrize("workload,flow", _PAIRS,
+                         ids=[f"{w}-{f}" for w, f in _PAIRS])
+def test_opt_level2_cell_is_equivalent_and_no_slower(sweep, opt_sweep,
+                                                     workload, flow):
+    """The fixpoint mid-end may only make cells faster, never different.
+
+    Per cell: the verdict class must match the default sweep (an optimizer
+    must not flip a rejection or break a compile), OK cells must stay bit
+    identical to the reference interpreter, and the scheduled cycle count
+    may only improve."""
+    base = sweep[(workload, flow)]
+    opt = opt_sweep[(workload, flow)]
+    assert opt.verdict == base.verdict, (
+        f"{workload} x {flow}: opt_level=2 turned {base.verdict!r} into "
+        f"{opt.verdict!r} — {opt.note(200)}"
+    )
+    if base.verdict != OK:
+        return
+    spec = next(w for w in WORKLOADS if w.name == workload)
+    golden = run_source(spec.source, function="main", args=tuple(spec.args))
+    assert opt.observable == canonical_observable(golden.observable()), (
+        f"{workload} x {flow} diverged from the reference at opt_level=2"
+    )
+    assert opt.value == golden.value
+    assert opt.cycles <= base.cycles, (
+        f"{workload} x {flow}: opt_level=2 regressed cycles "
+        f"{base.cycles} -> {opt.cycles}"
+    )
+
+
+def test_opt_level2_matrix_is_fully_covered(opt_sweep):
+    assert set(opt_sweep) == set(_PAIRS)

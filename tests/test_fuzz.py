@@ -21,6 +21,7 @@ from repro.fuzz import (
     run_campaign,
 )
 from repro.fuzz.corpus import entry_from_divergence
+from repro.fuzz.grammar import GeneratedProgram
 from repro.fuzz.masks import GENERATABLE_FEATURES
 from repro.fuzz.signature import Divergence, KIND_MISMATCH, Signature
 from repro.lang import parse
@@ -206,3 +207,123 @@ class TestCampaignDeterminism:
         program = generate_program(3, mask, boundary=True)
         report = lint(program.source, flow="cyber")
         assert report.errors("cyber")
+
+
+class TestCrossLevelFuzz:
+    """The --opt-levels cross-level mode: every clean program also runs
+    at each listed opt_level, and level-dependent behaviour is triaged
+    as an opt-diverge finding."""
+
+    def _item(self):
+        from repro.fuzz.campaign import _WorkItem
+        from repro.fuzz.grammar import GeneratedProgram
+
+        program = GeneratedProgram(
+            name="synthetic", flow="c2verilog", profile="arith", seed=0,
+            source="int main(int a) { return a + 1; }", args=(3,),
+        )
+        return _WorkItem(program=program)
+
+    def _cell(self, verdict="ok", value=4, observable=None, rule=""):
+        from repro.runner.cells import CellResult
+
+        return CellResult(
+            workload="synthetic", flow="c2verilog", args=(3,),
+            verdict=verdict, value=value, rule=rule,
+            observable=observable if observable is not None else [value],
+        )
+
+    def test_opt_rule_round_trips(self):
+        from repro.fuzz.campaign import _opt_rule, _parse_opt_rule
+
+        assert _opt_rule(2) == "opt1-vs-opt2"
+        assert _parse_opt_rule("opt1-vs-opt2") == (1, 2)
+        assert _parse_opt_rule("opt0-vs-opt3") == (0, 3)
+        assert _parse_opt_rule("TIM102-within-infeasible") is None
+        assert _parse_opt_rule("") is None
+
+    def test_tasks_carry_levels_between_lanes_and_mutants(self):
+        from repro.fuzz.campaign import _tasks_for
+
+        tasks = _tasks_for(self._item(), opt_levels=(0, 2))
+        assert len(tasks) == 3
+        assert tasks[1].workload.endswith("-opt0")
+        assert tasks[1].options_dict() == {"opt_level": 0}
+        assert tasks[2].options_dict() == {"opt_level": 2}
+        # Boundary probes never get cross-level variants.
+        item = self._item()
+        item.program = GeneratedProgram(
+            name="b", flow="c2verilog", profile="arith", seed=3,
+            source="int main() { return 1; }", args=(),
+            boundary_feature="pointers",
+        )
+        assert len(_tasks_for(item, opt_levels=(0, 2))) == 1
+
+    def test_classify_flags_observable_divergence(self):
+        from repro.fuzz.campaign import FlowStats, _classify_item
+        from repro.fuzz.signature import KIND_OPT_DIVERGE
+
+        item = self._item()
+        results = [
+            self._cell(value=4),
+            self._cell(value=4),             # opt_level=0 agrees
+            self._cell(value=7),             # opt_level=2 drifted
+        ]
+        stats = FlowStats()
+        found = _classify_item(item, results, stats, opt_levels=(0, 2))
+        assert stats.opt_cells == 2
+        assert [d.kind for d in found] == [KIND_OPT_DIVERGE]
+        assert found[0].rule == "opt1-vs-opt2"
+        assert "value 4 vs 7" in found[0].detail
+
+    def test_classify_flags_verdict_flip(self):
+        from repro.fuzz.campaign import FlowStats, _classify_item
+        from repro.fuzz.signature import KIND_OPT_DIVERGE
+
+        item = self._item()
+        results = [
+            self._cell(value=4),
+            self._cell(verdict="error", value=None),   # opt_level=0 broke
+            self._cell(value=4),
+        ]
+        found = _classify_item(item, results, FlowStats(),
+                               opt_levels=(0, 2))
+        assert [d.kind for d in found] == [KIND_OPT_DIVERGE]
+        assert found[0].rule == "opt1-vs-opt0"
+
+    def test_classify_is_quiet_when_levels_agree(self):
+        from repro.fuzz.campaign import FlowStats, _classify_item
+
+        item = self._item()
+        results = [self._cell(value=4)] * 3
+        stats = FlowStats()
+        assert _classify_item(item, results, stats,
+                              opt_levels=(0, 2)) == []
+        assert stats.ok == 1 and stats.opt_cells == 2
+
+    def test_campaign_cross_level_mode_is_clean(self, tmp_path):
+        config = CampaignConfig(
+            flows=["c2verilog"], seeds=8, jobs=1, reduce=False,
+            mutations=0, corpus_dir=tmp_path / "corpus",
+            opt_levels=(0, 2),
+        )
+        report = run_campaign(config)
+        stats = report.stats["c2verilog"]
+        assert stats.opt_cells == 2 * (stats.seeds - stats.boundary_seeds)
+        assert not report.new_signatures, report.new_signatures
+
+    def test_opt_diverge_entry_replays_through_both_levels(self, tmp_path):
+        from repro.fuzz import replay_entry
+        from repro.fuzz.signature import KIND_OPT_DIVERGE
+
+        source = "int main(int a) { return a * 2; }"
+        entry = CorpusEntry(
+            flow="c2verilog", kind=KIND_OPT_DIVERGE,
+            rule="opt1-vs-opt2", program_hash=program_hash(source),
+            source=source, args=[5],
+        )
+        reproduced, detail = replay_entry(entry)
+        # A healthy optimizer makes the levels agree, so the pinned
+        # divergence reports as gone — exactly the refresh signal.
+        assert not reproduced
+        assert "agree" in detail

@@ -439,6 +439,57 @@ def test_corpus_entry_replays(path):
     assert list(probe.args) == entry["args"]
 
 
+@pytest.fixture(scope="module")
+def corpus_level_sweep():
+    """Every timing-corpus source through its flow at opt levels 0/1/2."""
+    from repro.runner.cells import CellTask
+
+    tasks, keys = [], []
+    for path in _corpus_entries():
+        entry = json.loads(path.read_text())
+        for level in (0, 1, 2):
+            tasks.append(CellTask(
+                workload=f"{path.stem}-L{level}",
+                source=entry["source"],
+                flow=entry["flow"],
+                args=tuple(entry["args"]),
+                options=CellTask.make_options({"opt_level": level}),
+            ))
+            keys.append((path.stem, level))
+    engine = MatrixEngine(jobs=4, cache=None, timeout_s=30.0,
+                          max_cycles=200_000)
+    results = engine.run_cells(tasks)
+    sweep = {}
+    for (stem, level), result in zip(keys, results):
+        sweep.setdefault(stem, {})[level] = result
+    return sweep
+
+
+@pytest.mark.parametrize("path", _corpus_entries(),
+                         ids=[p.stem for p in _corpus_entries()])
+def test_corpus_entry_flow_verdict_is_opt_level_invariant(
+        path, corpus_level_sweep):
+    """Timing verdicts must not depend on mid-end effort.
+
+    A schedule-aware rejection (TIM102) that holds on the unoptimized
+    CDFG must still hold after the fixpoint pipeline, and an accepted
+    probe must not start failing: per entry, the (verdict, rule) pair is
+    identical at opt levels 0, 1, and 2."""
+    levels = corpus_level_sweep[path.stem]
+    baseline = levels[1]
+    assert baseline.verdict != "mismatch", path.stem
+    for level in (0, 2):
+        result = levels[level]
+        assert result.verdict == baseline.verdict, (
+            f"{path.stem}: verdict {baseline.verdict!r} at the default "
+            f"level became {result.verdict!r} at opt_level={level}"
+        )
+        assert result.rule == baseline.rule, (
+            f"{path.stem}: rule {baseline.rule!r} became {result.rule!r} "
+            f"at opt_level={level}"
+        )
+
+
 def test_corpus_is_populated():
     entries = _corpus_entries()
     assert len(entries) >= 8
