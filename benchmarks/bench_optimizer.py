@@ -70,7 +70,7 @@ def ablate():
     return rows, total_cycle_gain
 
 
-def test_optimizer_ablation(benchmark, save_report):
+def test_optimizer_ablation(benchmark, save_report, save_bench):
     rows, gains = benchmark.pedantic(ablate, rounds=1, iterations=1)
     text = format_table(
         ["workload", "ops (raw)", "ops (opt)", "cycles (raw)",
@@ -79,6 +79,16 @@ def test_optimizer_ablation(benchmark, save_report):
         title="E11: optimizer ablation (fold+CSE+DCE+CFG-simplify)",
     )
     save_report("e11_optimizer", text)
+    save_bench(
+        "optimizer",
+        metrics={
+            "workloads": len(rows),
+            "max_cycle_gain": round(max(gains), 3),
+            "mean_cycle_gain": round(sum(gains) / len(gains), 3),
+            "ops_shrunk": sum(1 for r in rows if r[2] <= r[1]),
+        },
+        config={"passes": "fold+cse+dce+cfg-simplify", "exhibit": "E11"},
+    )
     # Optimization never hurts cycles, and wins somewhere meaningful.
     assert all(g >= 0.999 for g in gains)
     assert max(gains) > 1.3
@@ -96,7 +106,8 @@ def _level_sweep(engine):
     return base, opt
 
 
-def test_opt_level_matrix_deltas(benchmark, save_report, sweep_runner):
+def test_opt_level_matrix_deltas(benchmark, save_report, save_bench,
+                                 sweep_runner):
     """E19: the fixpoint mid-end vs the classic loop, over the matrix.
 
     Acceptance: zero verdict regressions anywhere, cycles never worse on
@@ -148,6 +159,16 @@ def test_opt_level_matrix_deltas(benchmark, save_report, sweep_runner):
         ),
     )
     save_report("e19_optimizer_levels", text)
+    save_bench(
+        "optimizer_levels",
+        metrics={
+            "ok_cells": ok_cells,
+            "improved_cells": improved,
+            "verdict_regressions": len(regressions),
+            "cycle_regressions": len(cycle_regressions),
+        },
+        config={"base_opt_level": 1, "opt_level": 2, "exhibit": "E19"},
+    )
 
     assert not regressions, regressions
     assert not cycle_regressions, cycle_regressions

@@ -12,13 +12,18 @@ fixture hands out engines, and ``suite_results`` is one shared parallel
 sweep of the full workload × flow matrix as structured ``CellResult``s.
 """
 
+import json
 import pathlib
+import time
 
 import pytest
 
 from repro.runner import ArtifactCache, MatrixEngine, suite_tasks
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Machine-readable report schema shared by every ``BENCH_*.json``.
+BENCH_SCHEMA = "repro-bench/1"
 
 
 @pytest.fixture(scope="session")
@@ -28,6 +33,29 @@ def save_report():
     def _save(name: str, text: str) -> None:
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         print(f"\n{text}\n")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_bench():
+    """Write ``BENCH_<name>.json``: one flat ``metrics`` dict under a
+    stable schema tag, so CI and dashboards diff numbers across runs
+    without scraping the human-readable tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, metrics: dict, config: dict = None) -> pathlib.Path:
+        payload = {
+            "schema": BENCH_SCHEMA,
+            "bench": name,
+            "created_unix": int(time.time()),
+            "metrics": metrics,
+        }
+        if config:
+            payload["config"] = config
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
 
     return _save
 

@@ -44,6 +44,20 @@ Commands
     engine, reduce divergences to 1-minimal reproducers, and compare
     their signatures against the triaged corpus.  Exits nonzero only on
     divergences the corpus has never seen.
+``serve [--host H] [--port P] [--jobs N] [--queue-limit N] [--rate R]
+[--burst B] [--timeout S] [--cache-dir D | --no-cache] [--trace OUT.json]``
+    Synthesis-as-a-service: an asyncio HTTP/JSON server exposing
+    ``/synthesize``, ``/check``, and ``/lint``.  Requests are validated
+    into ``SynthesisOptions``, keyed by the artifact cache's content
+    address, and deduplicated three ways (warm cache hits, in-flight
+    coalescing, bounded pool dispatch).  ``/stats`` reports hit/coalesce/
+    miss counters, queue depth, and latency histograms; SIGTERM drains
+    gracefully.  See docs/serving.md.
+``cache stats|prune|clear [--cache-dir D] [--max-bytes N]``
+    Inspect and bound the artifact cache: ``stats`` prints entry count
+    and total bytes, ``prune --max-bytes N`` deletes oldest-mtime entries
+    (LRU) until the cache fits (N accepts K/M/G suffixes), ``clear``
+    removes everything.
 ``table1``
     Print the regenerated Table 1.
 ``flows``
@@ -409,6 +423,78 @@ def cmd_fuzz(options: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(options: argparse.Namespace) -> int:
+    from .serve import ServeConfig
+    from .serve import run as serve_run
+
+    config = ServeConfig(
+        host=options.host,
+        port=options.port,
+        jobs=max(1, options.jobs),
+        queue_limit=options.queue_limit,
+        rate=options.rate,
+        burst=options.burst,
+        timeout_s=options.timeout or 20.0,
+        max_source_bytes=_parse_bytes(options.max_source),
+        cache_dir=options.cache_dir,
+        no_cache=options.no_cache,
+        trace_out=options.trace,
+        drain_grace_s=options.drain_grace,
+    )
+    return serve_run(config)
+
+
+def _parse_bytes(text: str) -> int:
+    """``"64K"``/``"512M"``/``"2G"`` (or a plain integer) to bytes."""
+    value = str(text).strip().upper()
+    scale = 1
+    for suffix, factor in (("K", 1 << 10), ("M", 1 << 20), ("G", 1 << 30)):
+        if value.endswith(suffix):
+            value, scale = value[: -len(suffix)], factor
+            break
+    try:
+        return int(float(value) * scale)
+    except ValueError:
+        raise SystemExit(f"error: bad byte size {text!r} (use e.g. 500M)")
+
+
+def cmd_cache(options: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .runner import DEFAULT_CACHE_DIR, ArtifactCache
+
+    cache = ArtifactCache(options.cache_dir or DEFAULT_CACHE_DIR)
+    if options.cache_command == "stats":
+        stats = cache.stats()
+        if options.format == "json":
+            print(json_module.dumps(stats.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(f"cache root : {stats.root}")
+            print(f"entries    : {stats.entries}")
+            print(f"total size : {stats.total_bytes} bytes"
+                  f" ({stats.total_bytes / (1 << 20):.2f} MiB)")
+            if stats.orphan_tmp_files:
+                print(f"orphan tmp : {stats.orphan_tmp_files}"
+                      " (a prune sweeps ones older than an hour)")
+        return 0
+    if options.cache_command == "prune":
+        report = cache.prune(_parse_bytes(options.max_bytes))
+        if options.format == "json":
+            print(json_module.dumps(report.to_dict(), indent=2,
+                                    sort_keys=True))
+        else:
+            print(f"pruned {report.removed} entr"
+                  f"{'y' if report.removed == 1 else 'ies'}"
+                  f" ({report.freed_bytes} bytes); kept {report.kept}"
+                  f" ({report.kept_bytes} bytes <= {report.max_bytes})")
+            if report.tmp_swept:
+                print(f"swept {report.tmp_swept} orphaned tmp file(s)")
+        return 0
+    removed = cache.clear()
+    print(f"cleared {removed} cache entr{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
 def cmd_table1(_: argparse.Namespace) -> int:
     rows = table1_rows()
     print(format_table(
@@ -605,6 +691,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_runner_flags(fuzz_parser)
     fuzz_parser.set_defaults(handler=cmd_fuzz)
+
+    serve_parser = sub.add_parser(
+        "serve", help="synthesis-as-a-service HTTP server"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8787,
+                              help="listen port (0 = pick a free one)")
+    serve_parser.add_argument("--jobs", type=int, default=2,
+                              help="compile worker processes (default 2)")
+    serve_parser.add_argument("--queue-limit", type=int, default=16,
+                              help="compiles allowed to queue beyond the"
+                                   " workers before 503 (default 16)")
+    serve_parser.add_argument("--rate", type=float, default=0.0,
+                              help="per-client requests/second"
+                                   " (default 0 = unlimited)")
+    serve_parser.add_argument("--burst", type=float, default=20.0,
+                              help="per-client token-bucket capacity"
+                                   " (default 20)")
+    serve_parser.add_argument("--timeout", type=float, default=20.0,
+                              help="per-compile worker deadline in seconds"
+                                   " (default 20)")
+    serve_parser.add_argument("--max-source", default="64K",
+                              help="largest accepted source (default 64K;"
+                                   " K/M/G suffixes)")
+    serve_parser.add_argument("--cache-dir",
+                              help="artifact cache directory (default:"
+                                   " $REPRO_CACHE_DIR or ~/.cache/repro/matrix)")
+    serve_parser.add_argument("--no-cache", action="store_true",
+                              help="disable the warm-hit tier")
+    serve_parser.add_argument("--trace", metavar="OUT.json",
+                              help="record per-request spans; written as a"
+                                   " Chrome trace on drain")
+    serve_parser.add_argument("--drain-grace", type=float, default=10.0,
+                              help="seconds to wait for in-flight requests"
+                                   " on SIGTERM (default 10)")
+    serve_parser.set_defaults(handler=cmd_serve)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect and bound the artifact cache"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command",
+                                            required=True)
+    for name, description in (
+        ("stats", "entry count, total bytes, age span"),
+        ("prune", "LRU-evict oldest entries down to --max-bytes"),
+        ("clear", "remove every cache entry"),
+    ):
+        cache_cmd = cache_sub.add_parser(name, help=description)
+        cache_cmd.add_argument("--cache-dir",
+                               help="cache directory (default:"
+                                    " $REPRO_CACHE_DIR or"
+                                    " ~/.cache/repro/matrix)")
+        cache_cmd.add_argument("--format", default="text",
+                               choices=("text", "json"))
+        if name == "prune":
+            cache_cmd.add_argument("--max-bytes", required=True,
+                                   help="target size, e.g. 500M or 2G")
+    cache_parser.set_defaults(handler=cmd_cache)
 
     sub.add_parser("table1", help="print Table 1").set_defaults(
         handler=cmd_table1

@@ -7,7 +7,15 @@ workload × flow matrix.  See :mod:`repro.runner.engine` for the execution
 model and :mod:`repro.runner.cache` for the artifact cache.
 """
 
-from .cache import DEFAULT_CACHE_DIR, ArtifactCache, cell_key, environment_salt
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    ArtifactCache,
+    CacheStats,
+    PruneReport,
+    cell_key,
+    environment_salt,
+    normalized_source,
+)
 from .cells import (
     CACHEABLE_VERDICTS,
     ERROR,
@@ -34,6 +42,7 @@ from .engine import (
 __all__ = [
     "ArtifactCache",
     "CACHEABLE_VERDICTS",
+    "CacheStats",
     "CellResult",
     "CellTask",
     "DEFAULT_CACHE_DIR",
@@ -43,6 +52,7 @@ __all__ = [
     "MISMATCH",
     "MatrixEngine",
     "OK",
+    "PruneReport",
     "REJECTED",
     "TIMEOUT",
     "UNEXPECTED_VERDICTS",
@@ -53,5 +63,6 @@ __all__ = [
     "execute_batch",
     "execute_cell",
     "file_tasks",
+    "normalized_source",
     "suite_tasks",
 ]

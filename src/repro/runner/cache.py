@@ -23,7 +23,10 @@ import hashlib
 import json
 import os
 import pathlib
-from typing import Dict, Optional
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from .cells import CACHEABLE_VERDICTS, SCHEMA_VERSION, CellResult, CellTask
 
@@ -114,7 +117,15 @@ class ArtifactCache:
         return result
 
     def store(self, key: str, result: CellResult) -> bool:
-        """Persist ``result`` under ``key`` if its verdict is deterministic."""
+        """Persist ``result`` under ``key`` if its verdict is deterministic.
+
+        Concurrent-write safe: the envelope lands in a uniquely named temp
+        file (``mkstemp``, so two workers — or two threads sharing a pid —
+        storing the same key can never interleave writes) and is published
+        with one atomic ``os.replace``.  A reader either sees the old
+        complete entry or the new complete entry, never a torn one; losing
+        the last-writer race is benign because both writers hold the same
+        deterministic content."""
         if result.verdict not in CACHEABLE_VERDICTS:
             return False
         path = self._path(key)
@@ -124,9 +135,19 @@ class ArtifactCache:
             "key": key,
             "result": result.to_dict(),
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(envelope, sort_keys=True))
-        os.replace(tmp, path)  # atomic: concurrent writers race benignly
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:16]}.", suffix=".tmp", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(envelope, sort_keys=True))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return True
 
     def __len__(self) -> int:
@@ -143,3 +164,113 @@ class ArtifactCache:
             except OSError:
                 pass
         return removed
+
+    # -- capacity management ----------------------------------------------
+
+    def _entries(self) -> List[Tuple[pathlib.Path, int, float]]:
+        """(path, size_bytes, mtime) per entry, oldest access first.
+
+        ``load()`` never touches mtime, so this is insertion-order LRU:
+        good enough to keep a long-lived server's cache from growing
+        without bound, with zero bookkeeping on the hit path."""
+        entries: List[Tuple[pathlib.Path, int, float]] = []
+        if not self.root.is_dir():
+            return entries
+        for path in self.root.glob("*/*.json"):
+            try:
+                status = path.stat()
+            except OSError:
+                continue
+            entries.append((path, status.st_size, status.st_mtime))
+        entries.sort(key=lambda entry: entry[2])
+        return entries
+
+    def stats(self) -> "CacheStats":
+        """Entry count, total bytes, and age span of the cache directory."""
+        entries = self._entries()
+        orphans = 0
+        if self.root.is_dir():
+            orphans = sum(1 for _ in self.root.glob("*/*.tmp"))
+        return CacheStats(
+            root=str(self.root),
+            entries=len(entries),
+            total_bytes=sum(size for _, size, _ in entries),
+            oldest_mtime=entries[0][2] if entries else 0.0,
+            newest_mtime=entries[-1][2] if entries else 0.0,
+            orphan_tmp_files=orphans,
+        )
+
+    def prune(self, max_bytes: int) -> "PruneReport":
+        """Delete oldest-mtime entries until the cache fits ``max_bytes``.
+
+        Also sweeps orphaned ``*.tmp`` files older than an hour — debris
+        from a writer that died between ``mkstemp`` and ``os.replace``."""
+        report = PruneReport(max_bytes=max_bytes)
+        now = time.time()
+        if self.root.is_dir():
+            for tmp in self.root.glob("*/*.tmp"):
+                try:
+                    if now - tmp.stat().st_mtime > 3600:
+                        tmp.unlink()
+                        report.tmp_swept += 1
+                except OSError:
+                    pass
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        for path, size, _mtime in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            report.removed += 1
+            report.freed_bytes += size
+        report.kept = len(entries) - report.removed
+        report.kept_bytes = total
+        return report
+
+
+@dataclass
+class CacheStats:
+    """What ``repro cache stats`` reports."""
+
+    root: str = ""
+    entries: int = 0
+    total_bytes: int = 0
+    oldest_mtime: float = 0.0
+    newest_mtime: float = 0.0
+    orphan_tmp_files: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "oldest_mtime": self.oldest_mtime,
+            "newest_mtime": self.newest_mtime,
+            "orphan_tmp_files": self.orphan_tmp_files,
+        }
+
+
+@dataclass
+class PruneReport:
+    """What one ``ArtifactCache.prune`` pass removed and kept."""
+
+    max_bytes: int = 0
+    removed: int = 0
+    freed_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+    tmp_swept: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "max_bytes": self.max_bytes,
+            "removed": self.removed,
+            "freed_bytes": self.freed_bytes,
+            "kept": self.kept,
+            "kept_bytes": self.kept_bytes,
+            "tmp_swept": self.tmp_swept,
+        }

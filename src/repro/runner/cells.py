@@ -73,6 +73,10 @@ class CellTask:
     # "batched" additionally lets the engine coalesce cells that share
     # (source, flow, function, options) into one lockstep batch.
     sim_backend: str = "interp"
+    # Run the time-sensitive checker before compiling (the serving layer's
+    # cacheable request flag).  Already part of SynthesisOptions.identity()
+    # — the default False leaves every existing cache key unchanged.
+    check: bool = False
 
     def options_dict(self) -> Dict[str, object]:
         return dict(self.options)
@@ -96,6 +100,7 @@ class CellTask:
             function=self.function,
             sim_backend=self.sim_backend,
             opt_level=int(opt_level),  # type: ignore[arg-type]
+            check=self.check,
             flow_options=self.make_options(extra),
         )
 
@@ -116,6 +121,7 @@ class CellTask:
             args=tuple(args),
             options=cls.make_options(extra),
             sim_backend=options.sim_backend,
+            check=options.check,
         )
 
     def identity(self) -> Dict[str, object]:

@@ -100,6 +100,7 @@ def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
         args=tuple(payload.get("args", ())),
         options=tuple((k, v) for k, v in payload.get("options", ())),
         sim_backend=str(payload.get("sim_backend", "interp")),
+        check=bool(payload.get("check", False)),
     )
     result = CellResult(
         workload=task.workload,
@@ -405,6 +406,7 @@ class MatrixEngine:
             "args": list(task.args),
             "options": [list(pair) for pair in task.options],
             "sim_backend": task.sim_backend,
+            "check": task.check,
             "expected": self.golden_observable(task),
             "timeout_s": self.timeout_s,
             "max_cycles": self.max_cycles,

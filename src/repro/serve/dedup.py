@@ -1,0 +1,61 @@
+"""In-flight request coalescing.
+
+The artifact cache already dedups across *time* (a warm key never
+recompiles); this table dedups across *concurrency*: every identical
+request that arrives while the first is still compiling awaits the same
+``asyncio.Future`` instead of dispatching its own worker.  The owner — the
+coroutine that registered the key — is the only one that talks to the
+pool; everyone else is a follower.
+
+Single-threaded by design: all mutation happens on the event-loop thread,
+so membership checks and registration are atomic between ``await`` points
+and no lock is needed.  Followers wait behind :func:`asyncio.shield` in
+the server so one disconnecting client cannot cancel the shared compile.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+
+class InflightTable:
+    """Key -> shared future for compiles currently in the pool."""
+
+    def __init__(self):
+        self._futures: Dict[str, asyncio.Future] = {}
+
+    def follow(self, key: str) -> Optional[asyncio.Future]:
+        """The in-flight future for ``key``, or None when nobody owns it."""
+        return self._futures.get(key)
+
+    def register(self, key: str) -> asyncio.Future:
+        """Claim ownership of ``key``; the caller must later resolve it
+        via :meth:`resolve` or :meth:`fail` (both pop the entry)."""
+        if key in self._futures:
+            raise RuntimeError(f"key already in flight: {key}")
+        future = asyncio.get_running_loop().create_future()
+        self._futures[key] = future
+        return future
+
+    def resolve(self, key: str, result: object) -> None:
+        future = self._futures.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(result)
+
+    def fail(self, key: str, error: BaseException) -> None:
+        future = self._futures.pop(key, None)
+        if future is not None and not future.done():
+            future.set_exception(error)
+
+    def __len__(self) -> int:
+        return len(self._futures)
+
+    def abort_all(self, error: BaseException) -> None:
+        """Drain-time cleanup: fail every open future (no new owners can
+        register once the listener is closed)."""
+        for key in list(self._futures):
+            self.fail(key, error)
+
+
+__all__ = ["InflightTable"]

@@ -1,0 +1,238 @@
+"""Async load generation against a running synthesis server.
+
+Two pieces, both stdlib-only and deterministic in a seed:
+
+* :func:`zipfian_schedule` — a request stream over distinct
+  (source, flow) pairs where pair *rank* r is drawn with probability
+  proportional to ``1 / r**s``.  This is the workload shape the serving
+  tier is built for (C2HLSC-style: many near-duplicate kernels hammered
+  against a few flows), and ``s`` is the duplicate-heaviness dial —
+  ``s=0`` is uniform, ``s>=1.2`` is heavily duplicate.
+* :func:`run_load` — N worker coroutines with persistent keep-alive
+  connections draining one shared schedule, timing every request.
+
+The report carries raw per-request latencies plus the server's own
+``/stats`` snapshot, so callers can assert on both sides (client-observed
+p99 and server-side hit/coalesce counters).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class LoadReport:
+    """What one :func:`run_load` run observed, client-side + server-side."""
+
+    sent: int = 0
+    wall_s: float = 0.0
+    status_counts: Dict[int, int] = field(default_factory=dict)
+    latencies_s: List[float] = field(default_factory=list)
+    served_by: Dict[str, int] = field(default_factory=dict)
+    transport_errors: int = 0
+    server_stats: Optional[Dict[str, object]] = None
+
+    @property
+    def rps(self) -> float:
+        return self.sent / self.wall_s if self.wall_s > 0 else 0.0
+
+    def percentile_ms(self, p: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(len(ordered) - 1,
+                    max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[index] * 1e3
+
+    def count_5xx(self) -> int:
+        return sum(n for status, n in self.status_counts.items()
+                   if status >= 500)
+
+    def ok_ratio(self) -> float:
+        ok = self.status_counts.get(200, 0)
+        return ok / self.sent if self.sent else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sent": self.sent,
+            "wall_s": round(self.wall_s, 4),
+            "rps": round(self.rps, 2),
+            "p50_ms": round(self.percentile_ms(50), 3),
+            "p99_ms": round(self.percentile_ms(99), 3),
+            "status_counts": {str(k): v
+                              for k, v in sorted(self.status_counts.items())},
+            "served_by": dict(sorted(self.served_by.items())),
+            "transport_errors": self.transport_errors,
+        }
+
+
+def zipfian_schedule(
+    distinct: Sequence[Dict[str, object]],
+    n: int,
+    s: float = 1.2,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """``n`` request bodies drawn zipfian over ``distinct`` payloads.
+
+    Rank order is the given order: ``distinct[0]`` is the hottest key.
+    Deterministic in ``seed`` so benchmark and baseline replay the exact
+    same stream."""
+    if not distinct:
+        return []
+    weights = [1.0 / (rank + 1) ** s for rank in range(len(distinct))]
+    rng = random.Random(seed)
+    return [distinct[index]
+            for index in rng.choices(range(len(distinct)), weights, k=n)]
+
+
+class HttpClient:
+    """A minimal persistent HTTP/1.1 JSON client (one connection)."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        #: Response headers of the most recent request (lower-cased names).
+        self.last_headers: Dict[str, str] = {}
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = self._writer = None
+
+    async def request(
+        self, method: str, path: str,
+        payload: Optional[Dict[str, object]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, object]]:
+        """One request; reconnects once on a dead keep-alive connection."""
+        for attempt in (0, 1):
+            if self._writer is None:
+                await self._connect()
+            try:
+                return await self._roundtrip(method, path, payload, headers)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                await self.close()
+                if attempt:
+                    raise
+        raise ConnectionError("unreachable")
+
+    async def _roundtrip(self, method, path, payload, headers):
+        assert self._reader is not None and self._writer is not None
+        body = json.dumps(payload).encode() if payload is not None else b""
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        self._writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").split(" ", 2)
+        status = int(parts[1])
+        response_headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        self.last_headers = response_headers
+        length = int(response_headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b""
+        if response_headers.get("connection", "").lower() == "close":
+            await self.close()
+        data = json.loads(raw.decode()) if raw else {}
+        return status, data
+
+
+async def fetch_stats(host: str, port: int) -> Dict[str, object]:
+    client = HttpClient(host, port)
+    try:
+        _status, data = await client.request("GET", "/stats")
+        return data
+    finally:
+        await client.close()
+
+
+async def run_load(
+    host: str,
+    port: int,
+    schedule: Sequence[Dict[str, object]],
+    concurrency: int = 8,
+    path: str = "/synthesize",
+    client_id: str = "loadgen",
+    fetch_server_stats: bool = True,
+) -> LoadReport:
+    """Drive ``schedule`` through ``concurrency`` persistent connections."""
+    report = LoadReport()
+    queue: "asyncio.Queue[Dict[str, object]]" = asyncio.Queue()
+    for payload in schedule:
+        queue.put_nowait(payload)
+    report.sent = len(schedule)
+
+    async def worker(index: int) -> None:
+        client = HttpClient(host, port)
+        headers = {"X-Client-Id": f"{client_id}-{index}"}
+        try:
+            while True:
+                try:
+                    payload = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                t0 = perf_counter()
+                try:
+                    status, data = await client.request(
+                        "POST", path, payload, headers
+                    )
+                except (ConnectionError, OSError,
+                        asyncio.IncompleteReadError):
+                    report.transport_errors += 1
+                    continue
+                report.latencies_s.append(perf_counter() - t0)
+                report.status_counts[status] = (
+                    report.status_counts.get(status, 0) + 1
+                )
+                tier = data.get("served_by") if isinstance(data, dict) else None
+                if isinstance(tier, str):
+                    report.served_by[tier] = report.served_by.get(tier, 0) + 1
+        finally:
+            await client.close()
+
+    t0 = perf_counter()
+    await asyncio.gather(*(worker(i) for i in range(max(1, concurrency))))
+    report.wall_s = perf_counter() - t0
+    if fetch_server_stats:
+        report.server_stats = await fetch_stats(host, port)
+    return report
+
+
+__all__ = [
+    "HttpClient",
+    "LoadReport",
+    "fetch_stats",
+    "run_load",
+    "zipfian_schedule",
+]

@@ -1,0 +1,92 @@
+"""The bounded compile pool behind the server.
+
+A thin asyncio front on the matrix runner's worker machinery: payloads are
+the same dicts :func:`repro.runner.execute_cell` consumes (so workers keep
+the SIGALRM per-cell deadline, FlowError classification, and crash
+isolation the sweeps already proved), executed on a fork-preferring
+``ProcessPoolExecutor``.
+
+Capacity is explicit: at most ``jobs`` payloads run and at most
+``queue_limit`` more wait.  :meth:`CompilePool.saturated` is the
+backpressure signal — the server answers 503 + Retry-After instead of
+queueing unboundedly.  A worker death breaks the whole executor, so the
+pool is rebuilt on :class:`BrokenProcessPool` and the payload that killed
+it is answered with the runner's standard crash result rather than taking
+the server down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict
+
+from ..runner.engine import _crash_result, _pool_context, execute_cell
+
+
+class CompilePool:
+    """Bounded async dispatch onto a process pool of cell workers."""
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        queue_limit: int = 8,
+        worker: Callable[[Dict[str, object]], Dict[str, object]] = execute_cell,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.queue_limit = max(0, int(queue_limit))
+        self.worker = worker
+        self._inflight = 0
+        self._closed = False
+        self._context = _pool_context()
+        self._executor = self._make_executor()
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=self._context
+        )
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        """Payloads accepted but not yet running (0 while spare workers)."""
+        return max(0, self._inflight - self.jobs)
+
+    @property
+    def saturated(self) -> bool:
+        """True when accepting one more payload would exceed the bound."""
+        return self._closed or self._inflight >= self.jobs + self.queue_limit
+
+    async def run(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Execute one payload; always returns a result dict (a worker
+        crash becomes the runner's ``error`` verdict, like the sweeps)."""
+        if self._closed:
+            raise RuntimeError("pool is shut down")
+        self._inflight += 1
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                self._executor, self.worker, payload
+            )
+        except BrokenProcessPool:
+            if not self._closed:
+                # The dead worker poisoned the whole executor; replace it
+                # so the *next* request compiles normally.
+                self._executor.shutdown(wait=False)
+                self._executor = self._make_executor()
+            crashed = _crash_result(payload)
+            assert isinstance(crashed, dict)
+            return crashed
+        finally:
+            self._inflight -= 1
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+
+__all__ = ["CompilePool"]

@@ -1,0 +1,85 @@
+"""Per-client token-bucket rate limiting.
+
+Each client (the ``X-Client-Id`` header when present, else the peer
+address) gets a bucket holding up to ``burst`` tokens refilled at ``rate``
+tokens per second; a request spends one token or is refused with the time
+until the next token becomes available (the 429's ``Retry-After``).
+
+Buckets live in an LRU dict capped at ``max_clients`` so an open server
+cannot be grown without bound by spoofed client ids: the least-recently
+seen bucket is evicted first, which for an attacker just means a fresh
+(full) bucket — eviction never *tightens* anyone's limit, it only forgets
+debt, the safe direction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from time import monotonic
+from typing import Callable, Tuple
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` capacity, ``rate`` tokens/second."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def take(self, now: float) -> Tuple[bool, float]:
+        """Spend one token; returns ``(allowed, retry_after_seconds)``."""
+        elapsed = max(now - self.updated, 0.0)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        needed = (1.0 - self.tokens) / self.rate if self.rate > 0 else 60.0
+        return False, needed
+
+
+class RateLimiter:
+    """LRU map of client id -> :class:`TokenBucket`.
+
+    ``rate <= 0`` disables limiting entirely (every request allowed),
+    which is the load-benchmark configuration.  ``clock`` is injectable
+    so tests can step time deterministically.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 max_clients: int = 4096,
+                 clock: Callable[[], float] = monotonic):
+        self.rate = float(rate)
+        self.burst = max(float(burst), 1.0)
+        self.max_clients = max_clients
+        self.clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def allow(self, client: str) -> Tuple[bool, float]:
+        """``(allowed, retry_after_seconds)`` for one request by ``client``."""
+        if not self.enabled:
+            return True, 0.0
+        now = self.clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, now)
+            self._buckets[client] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client)
+        return bucket.take(now)
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+__all__ = ["RateLimiter", "TokenBucket"]
