@@ -15,7 +15,7 @@ deduplication.  The shape assertions pin the subsystem's current truth:
   restrictions, exercised generatively instead of by hand).
 """
 
-from repro.fuzz import CampaignConfig, run_campaign
+from repro.fuzz import FuzzOptions, run_campaign
 from repro.report import format_table
 
 SEEDS = 100        # per flow; raw rates below are scaled to per-1000
@@ -23,11 +23,11 @@ KNOWN_DIVERGENT = {"cash", "cones", "handelc"}
 
 
 def run_fuzz_campaign(tmp_path):
-    config = CampaignConfig(
+    options = FuzzOptions(
         seeds=SEEDS, jobs=4, reduce=False, mutations=2,
-        corpus_dir=tmp_path / "empty-corpus",
+        corpus_dir=str(tmp_path / "empty-corpus"), coverage=False,
     )
-    return run_campaign(config)
+    return run_campaign(options)
 
 
 def test_fuzz_yield(benchmark, save_report, tmp_path):

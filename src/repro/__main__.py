@@ -350,9 +350,7 @@ def cmd_sweep(options: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(options: argparse.Namespace) -> int:
-    from pathlib import Path
-
-    from .fuzz import CampaignConfig, promote, run_campaign
+    from .fuzz import FuzzOptions, promote, run_campaign
 
     flows = None
     if options.flows and options.flows != "all":
@@ -362,11 +360,11 @@ def cmd_fuzz(options: argparse.Namespace) -> int:
                 print(f"error: unknown flow {key!r}", file=sys.stderr)
                 return 2
 
-    cache_dir = None
+    cache_dir = ""
     if not options.no_cache:
         from .runner import DEFAULT_CACHE_DIR
 
-        cache_dir = Path(options.cache_dir or DEFAULT_CACHE_DIR)
+        cache_dir = str(options.cache_dir or DEFAULT_CACHE_DIR)
 
     opt_levels = ()
     if options.opt_levels:
@@ -379,47 +377,87 @@ def cmd_fuzz(options: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
 
-    config = CampaignConfig(
-        flows=flows,
+    profiles = tuple(
+        part.strip() for part in (options.profiles or "").split(",")
+        if part.strip()
+    )
+    if options.shard_index is not None and options.shards <= 1:
+        print("error: --shard-index needs --shards > 1", file=sys.stderr)
+        return 2
+
+    fuzz_options = FuzzOptions(
+        flows=tuple(flows) if flows is not None else None,
+        profiles=profiles,
         seeds=options.seeds,
         seed_base=options.seed_base,
+        campaign_seed=options.campaign_seed,
         jobs=options.jobs,
         time_budget_s=options.time_budget or 0.0,
         reduce=not options.no_reduce,
+        mutations=options.mutations,
         timeout_s=options.timeout or 20.0,
         cache_dir=cache_dir,
-        corpus_dir=Path(options.corpus_dir),
+        corpus_dir=options.corpus_dir,
         sim_backend=options.sim_backend,
         input_lanes=max(1, options.input_lanes),
         opt_levels=opt_levels,
+        coverage=not options.no_coverage,
+        shards=max(1, options.shards),
+        shard_index=options.shard_index,
+        shard_dir=options.shard_dir or "",
     )
-    report = run_campaign(config)
-    print("\n".join(report.summary_lines()))
-    if report.budget_exhausted:
-        print(f"(stopped at --time-budget {options.time_budget}s)")
+    report = run_campaign(fuzz_options)
 
-    for divergence in report.divergences:
-        print()
-        print(divergence.describe())
+    if options.format == "json":
+        print(report.to_json(), end="")
+    else:
+        print("\n".join(report.summary_lines()))
+        if report.budget_exhausted:
+            print(f"(stopped at --time-budget {options.time_budget}s)")
+        for divergence in report.divergences:
+            print()
+            print(divergence.describe())
 
     if options.update_corpus and report.divergences:
-        written = promote(report, config.corpus_dir)
+        # Shard-delta mode writes only this run's *new* signatures into
+        # the shard dir; the merge step folds them into the corpus.
+        only = (
+            set(report.new_signatures)
+            if fuzz_options.shard_dir else None
+        )
+        written = promote(report, fuzz_options.promote_path, only=only)
         for relative in written:
-            print(f"corpus += {relative}")
+            print(f"corpus += {relative}", file=sys.stderr
+                  if options.format == "json" else sys.stdout)
 
-    if report.known_signatures:
-        print(f"\n{len(report.known_signatures)} known signature(s) "
-              "already triaged in the corpus")
-    if report.new_signatures:
-        print(f"\n{len(report.new_signatures)} NEW divergence signature(s) "
-              "not in the corpus:")
-        for signature_id in report.new_signatures:
-            print(f"  {signature_id}")
-        if options.update_corpus:
-            print("triaged into the corpus; review and commit the new entries")
-            return 0
-        print("re-run with --update-corpus to triage them into tests/corpus/")
+    if options.format != "json":
+        if report.known_signatures:
+            print(f"\n{len(report.known_signatures)} known signature(s) "
+                  "already triaged in the corpus")
+        if report.new_signatures:
+            print(f"\n{len(report.new_signatures)} NEW divergence "
+                  "signature(s) not in the corpus:")
+            for signature_id in report.new_signatures:
+                print(f"  {signature_id}")
+            if options.update_corpus:
+                print("triaged; review and commit the new entries")
+            else:
+                print("re-run with --update-corpus to triage them into"
+                      " tests/corpus/")
+    if report.new_signatures and not options.update_corpus:
         return 1
+    return 0
+
+
+def cmd_fuzz_merge(options: argparse.Namespace) -> int:
+    from .fuzz import merge_corpus_dirs
+
+    report = merge_corpus_dirs(options.sources, options.dest)
+    for relative in report.copied:
+        print(f"corpus += {relative}")
+    for relative in report.conflicts:
+        print(f"conflict (smaller bytes kept): {relative}")
+    print(report.summary())
     return 0
 
 
@@ -689,8 +727,63 @@ def build_parser() -> argparse.ArgumentParser:
              " level, and any divergence from the default-level cell is"
              " triaged as an opt-diverge finding",
     )
+    fuzz_parser.add_argument(
+        "--profiles", default="", metavar="P,P",
+        help="restrict clean-side generation to these grammar profiles"
+             " (default: every profile the flow's mask allows)",
+    )
+    fuzz_parser.add_argument(
+        "--campaign-seed", type=int, default=0, metavar="N",
+        help="root of every derived random stream: pool scheduling,"
+             " minted child seeds, and the shard split (default 0)",
+    )
+    fuzz_parser.add_argument(
+        "--mutations", type=int, default=2, metavar="N",
+        help="base metamorphic mutants per clean program (default 2);"
+             " coverage mode adds more for high-novelty parents",
+    )
+    fuzz_parser.add_argument(
+        "--no-coverage", action="store_true",
+        help="disable coverage guidance and run the classic fixed-profile"
+             " seed plan",
+    )
+    fuzz_parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="split the campaign into N deterministic shards; without"
+             " --shard-index, all shards run here in subprocesses and"
+             " merge",
+    )
+    fuzz_parser.add_argument(
+        "--shard-index", type=int, default=None, metavar="I",
+        help="run only shard I of --shards (CI matrix mode); the slice"
+             " is a pure function of --campaign-seed, never of order",
+    )
+    fuzz_parser.add_argument(
+        "--shard-dir", default="", metavar="DIR",
+        help="with --update-corpus: write this shard's new findings into"
+             " DIR instead of the corpus (merge them with 'fuzz-merge')",
+    )
+    fuzz_parser.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="output format (json = the stable repro-fuzz-report/1"
+             " schema)",
+    )
     add_runner_flags(fuzz_parser)
     fuzz_parser.set_defaults(handler=cmd_fuzz)
+
+    fuzz_merge_parser = sub.add_parser(
+        "fuzz-merge",
+        help="idempotently fold shard corpus deltas into a corpus",
+    )
+    fuzz_merge_parser.add_argument(
+        "sources", nargs="+",
+        help="shard corpus directories (missing ones are skipped)",
+    )
+    fuzz_merge_parser.add_argument(
+        "--dest", default="tests/corpus",
+        help="corpus to merge into (default tests/corpus)",
+    )
+    fuzz_merge_parser.set_defaults(handler=cmd_fuzz_merge)
 
     serve_parser = sub.add_parser(
         "serve", help="synthesis-as-a-service HTTP server"

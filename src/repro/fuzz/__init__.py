@@ -18,7 +18,15 @@ Layers, bottom-up:
 * :mod:`.corpus` — the persistent triaged corpus under ``tests/corpus/``;
 * :mod:`.timing` — schedule-boundary probes predicted to trip one TIM
   rule each, cross-checked by :mod:`repro.analysis.timing.harness`;
+* :mod:`.options` — the frozen :class:`FuzzOptions` facade;
+* :mod:`.coverage` — the deterministic coverage signal and map;
+* :mod:`.pool` — the novelty-scored seed pool (power scheduling);
+* :mod:`.shard` — deterministic campaign sharding and corpus merging;
 * :mod:`.campaign` — the orchestrator behind ``repro fuzz``.
+
+The public entry point is ``run_campaign(FuzzOptions(...))``; the legacy
+mutable ``CampaignConfig`` still works through a one-warning deprecation
+shim with its classic (coverage-off) behaviour.
 """
 
 from .campaign import (
@@ -27,11 +35,15 @@ from .campaign import (
     promote,
     run_campaign,
 )
-from .corpus import Corpus, CorpusEntry, replay_entry
+from .corpus import Corpus, CorpusEntry, replay_entry, replay_options
+from .coverage import CoverageMap, cell_signals
 from .grammar import GeneratedProgram, available_profiles, generate_program
 from .masks import FeatureMask, all_masks, feature_mask, timing_probe_kinds
 from .mutate import MUTATION_NAMES, Mutant, mutants
+from .options import FuzzOptions
+from .pool import PoolEntry, SeedPool
 from .reduce import ReductionResult, is_statement_minimal, reduce_source
+from .shard import MergeReport, assign_shard, merge_corpus_dirs
 from .signature import KINDS, Divergence, Signature, program_hash
 from .timing import (
     PROBE_RULES,
@@ -45,28 +57,37 @@ __all__ = [
     "CampaignReport",
     "Corpus",
     "CorpusEntry",
+    "CoverageMap",
     "Divergence",
     "FeatureMask",
+    "FuzzOptions",
     "GeneratedProgram",
     "KINDS",
     "MUTATION_NAMES",
+    "MergeReport",
     "Mutant",
     "PROBE_RULES",
+    "PoolEntry",
     "ReductionResult",
+    "SeedPool",
     "Signature",
     "TimingProbe",
     "all_masks",
+    "assign_shard",
     "available_profiles",
+    "cell_signals",
     "feature_mask",
     "generate_program",
     "generate_timing_probe",
     "is_statement_minimal",
+    "merge_corpus_dirs",
     "mutants",
     "probe_plan",
     "program_hash",
     "promote",
     "reduce_source",
     "replay_entry",
+    "replay_options",
     "run_campaign",
     "timing_probe_kinds",
 ]

@@ -21,17 +21,34 @@ Divergences are deduplicated by coarse signature, optionally reduced to
 1-minimal reproducers, and compared against the persistent corpus: only
 signatures the corpus has never seen make the campaign fail.
 
-Everything downstream of the config is a pure function of (seed, flow),
-so two campaigns over the same seed range report identical signatures —
-the determinism the acceptance criteria demand.
+The facade is :func:`run_campaign` over a frozen
+:class:`~repro.fuzz.options.FuzzOptions` (legacy ``CampaignConfig``
+callers go through a one-warning deprecation shim and keep their exact
+pre-redesign behaviour).  With ``coverage=True`` the fixed seed plan
+becomes feedback-driven: every executed program's trace counters and sim
+state-visit histograms flatten into :class:`~repro.fuzz.coverage.
+CoverageMap` buckets, a novelty-scored :class:`~repro.fuzz.pool.SeedPool`
+decides which parents to vary (power scheduling: novel parents get more
+children and more mutants), and generation explores profile/size space
+around the winners.  Boundary probes keep their fixed every-fourth-seed
+slots either way — their value is the *predicted* rejection.
+
+Everything downstream of the options is a pure function of
+(campaign_seed, seed, flow) — guided scheduling consumes deterministic
+derived rng streams, never wall-clock or execution order — so two
+campaigns over the same options report identical signatures, and a
+sharded campaign merges to the same corpus however its shards ran.
 """
 
 from __future__ import annotations
 
+import json
+import random
 import time
+from dataclasses import asdict as dataclass_asdict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.lint import lint
 from ..runner.cache import ArtifactCache
@@ -45,10 +62,14 @@ from ..runner.cells import (
 )
 from ..runner.engine import MatrixEngine
 from .corpus import Corpus, entry_from_divergence
+from .coverage import CoverageMap, cell_signals
 from .grammar import GeneratedProgram, generate_program
 from .masks import all_masks
 from .mutate import Mutant, mutants
+from .options import FuzzOptions, coerce_options
+from .pool import PoolEntry, SeedPool
 from .reduce import reduce_source
+from .shard import assign_shard, mix
 from .signature import (
     Divergence,
     KIND_ERROR,
@@ -70,8 +91,28 @@ _VERDICT_TO_KIND = {
 }
 
 
+#: How many programs each coverage-guided wave schedules before pausing
+#: to fold feedback into the pool (and to check the time budget).
+WAVE_SIZE = 8
+
+#: Minted child seeds live above this floor so they can never collide
+#: with a base seed range (campaign seed ranges are human-sized).
+MINT_FLOOR = 0x40000000
+
+#: Version tag of :meth:`CampaignReport.to_dict`.
+REPORT_SCHEMA = "repro-fuzz-report/1"
+
+
 @dataclass
 class CampaignConfig:
+    """Deprecated mutable precursor of :class:`FuzzOptions`.
+
+    Still accepted by :func:`run_campaign` through a one-warning shim
+    (:func:`repro.fuzz.options.coerce_options`); it maps onto
+    ``coverage=False``, i.e. exactly the classic fixed-profile campaign
+    it always described.  New code should construct ``FuzzOptions``.
+    """
+
     flows: Optional[Sequence[str]] = None   # None = every compilable flow
     seeds: int = 100
     seed_base: int = 0
@@ -112,7 +153,7 @@ class FlowStats:
 
 @dataclass
 class CampaignReport:
-    config: CampaignConfig
+    options: FuzzOptions
     stats: Dict[str, FlowStats] = field(default_factory=dict)
     divergences: List[Divergence] = field(default_factory=list)
     new_signatures: List[str] = field(default_factory=list)
@@ -120,6 +161,18 @@ class CampaignReport:
     cells_run: int = 0
     elapsed_s: float = 0.0
     budget_exhausted: bool = False
+    # Coverage-guided runs: the final map, and the distinct-bucket count
+    # after each wave (strictly non-decreasing; the CI smoke leg asserts
+    # it actually grows).
+    coverage: Optional[CoverageMap] = None
+    coverage_growth: List[int] = field(default_factory=list)
+    # Sharded runs: one summary row per shard, in index order.
+    shard_reports: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def config(self) -> FuzzOptions:
+        """Legacy alias from the ``CampaignConfig`` era."""
+        return self.options
 
     @property
     def failed(self) -> bool:
@@ -140,12 +193,56 @@ class CampaignReport:
                 f"{s.mutants:>5} {s.ok:>6} {s.expected_rejections:>6} "
                 f"{s.divergences:>5}"
             )
+        if self.coverage is not None:
+            families = ", ".join(
+                f"{family}={count}"
+                for family, count in self.coverage.families().items()
+            )
+            lines.append(
+                f"coverage: {self.coverage.distinct()} buckets ({families})"
+            )
+        for row in self.shard_reports:
+            shard_cov = row.get("coverage") or {}
+            lines.append(
+                f"shard {row['index']}: cells={row['cells_run']}  "
+                f"div={row['divergences']}  "
+                f"buckets={shard_cov.get('distinct', '-')}  "
+                f"elapsed={row['elapsed_s']:.1f}s"
+            )
         lines.append(
             f"cells={self.cells_run}  divergences={len(self.divergences)}  "
             f"new={len(self.new_signatures)}  known={len(self.known_signatures)}  "
             f"elapsed={self.elapsed_s:.1f}s"
         )
         return lines
+
+    def to_dict(self) -> Dict[str, object]:
+        """The stable report schema (``repro-fuzz-report/1``), mirroring
+        the lint/check JSON conventions: options identity, per-flow
+        stats, coverage summary, per-shard rows, and the sorted
+        signature lists."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "options": self.options.identity(),
+            "stats": {
+                flow: dataclass_asdict(self.stats[flow])
+                for flow in sorted(self.stats)
+            },
+            "cells_run": self.cells_run,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "budget_exhausted": self.budget_exhausted,
+            "new_signatures": sorted(self.new_signatures),
+            "known_signatures": sorted(self.known_signatures),
+            "divergences": [d.describe() for d in self.divergences],
+            "coverage": (
+                self.coverage.summary() if self.coverage is not None else None
+            ),
+            "coverage_growth": list(self.coverage_growth),
+            "shards": list(self.shard_reports),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
 
 @dataclass
@@ -154,24 +251,39 @@ class _WorkItem:
 
     program: GeneratedProgram
     mutant_list: List[Mutant] = field(default_factory=list)
+    statements: int = 8       # generation size (pool entries inherit it)
 
 
-def plan_items(config: CampaignConfig) -> List[_WorkItem]:
-    """The full deterministic work list for a campaign: pure function of
-    (flows, seeds, seed_base, mutations)."""
+def plan_items(config) -> List[_WorkItem]:
+    """The full deterministic work list for a fixed-profile campaign:
+    pure function of (flows, seeds, seed_base, mutations) — plus, for a
+    :class:`FuzzOptions` with a shard index, the shard split (each base
+    seed belongs to exactly one shard)."""
     masks = all_masks(
         list(config.flows) if config.flows is not None else None
     )
+    shards = getattr(config, "shards", 1)
+    shard_index = getattr(config, "shard_index", None)
+    campaign_seed = getattr(config, "campaign_seed", 0)
+    profiles = tuple(getattr(config, "profiles", ()) or ())
     items: List[_WorkItem] = []
     for flow in sorted(masks):
         mask = masks[flow]
         for offset in range(config.seeds):
             seed = config.seed_base + offset
+            if (
+                shards > 1
+                and shard_index is not None
+                and assign_shard(seed, campaign_seed, shards) != shard_index
+            ):
+                continue
             boundary = (
                 seed % BOUNDARY_STRIDE == BOUNDARY_STRIDE - 1
                 and bool(mask.boundary_features)
             )
-            program = generate_program(seed, mask, boundary=boundary)
+            program = generate_program(
+                seed, mask, boundary=boundary, profiles=profiles
+            )
             item = _WorkItem(program=program)
             if not boundary and config.mutations > 0:
                 item.mutant_list = mutants(
@@ -596,22 +708,60 @@ def reduce_divergence(
 
 # -- the driver ---------------------------------------------------------------
 
-def run_campaign(config: CampaignConfig) -> CampaignReport:
+def run_campaign(config) -> CampaignReport:
+    """Run one fuzz campaign and return its report.
+
+    ``config`` is a frozen :class:`~repro.fuzz.options.FuzzOptions` (a
+    legacy ``CampaignConfig`` is accepted through a one-warning shim and
+    keeps its classic behaviour).  ``shards > 1`` without a shard index
+    orchestrates every shard in subprocesses and merges; a set index
+    runs only that shard's deterministic slice.
+    """
+    options = coerce_options(config)
+    if options.shards > 1 and options.shard_index is None:
+        from .shard import run_sharded
+
+        return run_sharded(options)
+    return _run_single(options)
+
+
+def _run_single(options: FuzzOptions) -> CampaignReport:
     started = time.monotonic()
-    report = CampaignReport(config=config)
+    report = CampaignReport(options=options)
 
-    cache = (
-        ArtifactCache(config.cache_dir) if config.cache_dir is not None
-        else None
-    )
+    cache = ArtifactCache(options.cache_path) if options.cache_path else None
     engine = MatrixEngine(
-        jobs=config.jobs,
+        jobs=options.jobs,
         cache=cache,
-        timeout_s=config.timeout_s,
-        max_cycles=config.max_cycles,
+        timeout_s=options.timeout_s,
+        max_cycles=options.max_cycles,
+        # Guided mode needs the signal sources on every result: the
+        # phase trace (counters) and the sim profile (state visits).
+        trace=options.coverage,
+        coverage=options.coverage,
     )
 
-    items = plan_items(config)
+    if options.coverage:
+        raw = _guided_pass(options, report, engine, started)
+    else:
+        raw = _fixed_pass(options, report, engine, started)
+
+    _triage(options, report, raw)
+    report.elapsed_s = time.monotonic() - started
+    return report
+
+
+def _fixed_pass(
+    options: FuzzOptions,
+    report: CampaignReport,
+    engine: MatrixEngine,
+    started: float,
+) -> List[Divergence]:
+    """The classic fixed-profile plan: every (flow, seed) pair generated
+    up front, batched through the engine.  This is the exact
+    pre-coverage campaign — the deprecation shim's "same results"
+    promise rests on this path staying byte-for-byte deterministic."""
+    items = plan_items(options)
     for item in items:
         report.stats.setdefault(item.program.flow, FlowStats()).seeds += 1
 
@@ -619,42 +769,183 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
     batch: List[_WorkItem] = []
 
     def flush(batch_items: List[_WorkItem]) -> None:
-        tasks: List[CellTask] = []
-        spans: List[Tuple[_WorkItem, int, int]] = []
-        for entry in batch_items:
-            entry_tasks = _tasks_for(
-                entry, config.sim_backend, config.input_lanes,
-                tuple(config.opt_levels),
-            )
-            spans.append((entry, len(tasks), len(tasks) + len(entry_tasks)))
-            tasks.extend(entry_tasks)
-        results = engine.run_cells(tasks)
+        results, spans = _run_items(options, engine, batch_items)
         report.cells_run += len(results)
         for entry, lo, hi in spans:
             stats = report.stats[entry.program.flow]
             raw.extend(_classify_item(
-                entry, results[lo:hi], stats, config.input_lanes,
-                tuple(config.opt_levels),
+                entry, results[lo:hi], stats, options.input_lanes,
+                tuple(options.opt_levels),
             ))
 
     for item in items:
         batch.append(item)
         if sum(
-            1 + _lane_count(b, config.input_lanes)
-            + _opt_count(b, tuple(config.opt_levels)) + len(b.mutant_list)
+            1 + _lane_count(b, options.input_lanes)
+            + _opt_count(b, tuple(options.opt_levels)) + len(b.mutant_list)
             for b in batch
-        ) >= config.batch_size:
+        ) >= options.batch_size:
             flush(batch)
             batch = []
             if (
-                config.time_budget_s > 0
-                and time.monotonic() - started > config.time_budget_s
+                options.time_budget_s > 0
+                and time.monotonic() - started > options.time_budget_s
             ):
                 report.budget_exhausted = True
                 break
     if batch and not report.budget_exhausted:
         flush(batch)
+    return raw
 
+
+def _run_items(
+    options: FuzzOptions,
+    engine: MatrixEngine,
+    items: List[_WorkItem],
+) -> Tuple[List, List[Tuple[_WorkItem, int, int]]]:
+    """Expand items into cell tasks, run them, and return (results,
+    per-item result spans)."""
+    tasks: List[CellTask] = []
+    spans: List[Tuple[_WorkItem, int, int]] = []
+    for item in items:
+        item_tasks = _tasks_for(
+            item, options.sim_backend, options.input_lanes,
+            tuple(options.opt_levels),
+        )
+        spans.append((item, len(tasks), len(tasks) + len(item_tasks)))
+        tasks.extend(item_tasks)
+    return engine.run_cells(tasks), spans
+
+
+def _guided_pass(
+    options: FuzzOptions,
+    report: CampaignReport,
+    engine: MatrixEngine,
+    started: float,
+) -> List[Divergence]:
+    """The coverage-guided schedule.
+
+    Per flow, the ``seeds`` budget is spent in waves of
+    :data:`WAVE_SIZE` programs.  Boundary slots (every fourth base seed)
+    always run the fixed lint-predicted probe.  Other slots run the base
+    seed directly until the pool has parents, then draw an
+    energy-weighted parent and generate a *variation*: a freshly minted
+    seed (a pure hash of campaign seed, shard, flow, and slot), the
+    parent's profile most of the time, and a nudged statement count.
+    After each wave the new results' buckets feed the map, novelty
+    credits the pool, and the distinct count is appended to
+    ``coverage_growth``.
+    """
+    masks = all_masks(
+        list(options.flows) if options.flows is not None else None
+    )
+    coverage = CoverageMap()
+    report.coverage = coverage
+    shard_idx = options.shard_index if options.shard_index is not None else 0
+    raw: List[Divergence] = []
+    out_of_time = False
+
+    for flow in sorted(masks):
+        if out_of_time:
+            break
+        mask = masks[flow]
+        pool = SeedPool()
+        rng = random.Random(mix("pool", options.campaign_seed, shard_idx, flow))
+        stats = report.stats.setdefault(flow, FlowStats())
+        slots = [
+            options.seed_base + offset
+            for offset in range(options.seeds)
+            if options.shards <= 1 or assign_shard(
+                options.seed_base + offset, options.campaign_seed,
+                options.shards,
+            ) == shard_idx
+        ]
+
+        position = 0
+        while position < len(slots) and not out_of_time:
+            wave = slots[position:position + WAVE_SIZE]
+            position += len(wave)
+            items: List[_WorkItem] = []
+            for base_seed in wave:
+                boundary = (
+                    base_seed % BOUNDARY_STRIDE == BOUNDARY_STRIDE - 1
+                    and bool(mask.boundary_features)
+                )
+                if boundary:
+                    program = generate_program(base_seed, mask, boundary=True)
+                    items.append(_WorkItem(program=program))
+                    continue
+                parent = pool.select(rng)
+                extra_mutants = 0
+                statements = 8
+                if parent is None:
+                    program = generate_program(
+                        base_seed, mask, profiles=options.profiles
+                    )
+                else:
+                    child_seed = MINT_FLOOR + mix(
+                        "mint", options.campaign_seed, shard_idx, flow,
+                        base_seed,
+                    ) % MINT_FLOOR
+                    statements = min(20, max(
+                        4, parent.statements + rng.choice((-3, -2, 2, 3, 5))
+                    ))
+                    profile = parent.profile if rng.random() < 0.7 else ""
+                    program = generate_program(
+                        child_seed, mask, statements=statements,
+                        profile=profile, profiles=options.profiles,
+                    )
+                    parent.children += 1
+                    extra_mutants = parent.mutation_bonus()
+                item = _WorkItem(program=program, statements=statements)
+                if options.mutations > 0:
+                    item.mutant_list = mutants(
+                        program.source,
+                        seed=program.seed,
+                        count=options.mutations + extra_mutants,
+                        mask=mask,
+                    )
+                items.append(item)
+
+            results, spans = _run_items(options, engine, items)
+            report.cells_run += len(results)
+            for item, lo, hi in spans:
+                stats.seeds += 1
+                raw.extend(_classify_item(
+                    item, results[lo:hi], stats, options.input_lanes,
+                    tuple(options.opt_levels),
+                ))
+                signals: List[str] = []
+                for result in results[lo:hi]:
+                    signals.extend(cell_signals(result))
+                novelty = coverage.add(signals)
+                program = item.program
+                if not program.is_boundary:
+                    pool.add(PoolEntry(
+                        key=f"{flow}:{program.profile}:{program.seed}",
+                        flow=flow,
+                        profile=program.profile,
+                        seed=program.seed,
+                        statements=item.statements,
+                        new_buckets=novelty,
+                    ))
+            report.coverage_growth.append(coverage.distinct())
+            if (
+                options.time_budget_s > 0
+                and time.monotonic() - started > options.time_budget_s
+            ):
+                report.budget_exhausted = True
+                out_of_time = True
+    return raw
+
+
+def _triage(
+    options: FuzzOptions,
+    report: CampaignReport,
+    raw: List[Divergence],
+) -> None:
+    """Deduplicate, reduce, trace, and compare against the corpus —
+    shared tail of both passes."""
     # Deduplicate by coarse signature before (expensive) reduction: one
     # reproducer per underlying bug.
     unique: Dict[Tuple[str, str, str], Divergence] = {}
@@ -663,21 +954,24 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
 
     reducer_engine = MatrixEngine(
         jobs=1, cache=None,
-        timeout_s=config.timeout_s, max_cycles=config.max_cycles,
+        timeout_s=options.timeout_s, max_cycles=options.max_cycles,
     )
     trace_engine = MatrixEngine(
         jobs=1, cache=None, trace=True,
-        timeout_s=config.timeout_s, max_cycles=config.max_cycles,
+        timeout_s=options.timeout_s, max_cycles=options.max_cycles,
     )
     for divergence in unique.values():
-        if config.reduce:
+        if options.reduce:
             reduce_divergence(divergence, reducer_engine,
-                              sim_backend=config.sim_backend)
+                              sim_backend=options.sim_backend)
         attach_trace(divergence, trace_engine,
-                     sim_backend=config.sim_backend)
+                     sim_backend=options.sim_backend)
+        # Record the execution options the finding was made under, so a
+        # corpus entry minted from it replays the same frozen set.
+        divergence.options = {"sim_backend": options.sim_backend}
         report.divergences.append(divergence)
 
-    corpus = Corpus(config.corpus_dir)
+    corpus = Corpus(options.corpus_path)
     known_coarse = corpus.known_coarse()
     for divergence in report.divergences:
         sig = divergence.signature()
@@ -688,18 +982,23 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
     report.new_signatures.sort()
     report.known_signatures.sort()
 
-    report.elapsed_s = time.monotonic() - started
-    return report
-
 
 def promote(
-    report: CampaignReport, corpus_dir: Path, limit: int = 0
+    report: CampaignReport,
+    corpus_dir: Path,
+    limit: int = 0,
+    only: Optional[Set[str]] = None,
 ) -> List[str]:
     """Write the report's divergences into the corpus; returns the new
-    entry paths (relative to ``corpus_dir``)."""
+    entry paths (relative to ``corpus_dir``).  ``only`` restricts
+    promotion to the given signature ids — the shard-delta mode, where a
+    shard writes just its *new* findings into its own directory for the
+    merge step to fold in."""
     corpus = Corpus(corpus_dir)
     written: List[str] = []
     for divergence in report.divergences:
+        if only is not None and divergence.signature().id not in only:
+            continue
         entry = corpus.add(divergence)
         if entry is not None:
             written.append(str(entry.path(corpus.root).relative_to(corpus.root)))

@@ -55,6 +55,11 @@ class CorpusEntry:
     # The reproducer's pipeline shape: span structure + counters, no
     # durations (entries must stay deterministic across hosts).
     trace: Dict[str, object] = field(default_factory=dict)
+    # The exact execution options the finding was made under (sim_backend,
+    # opt_level, ...).  Replays rebuild a frozen SynthesisOptions from
+    # this instead of re-deriving one ad hoc; entries predating the field
+    # load as {} and replay under the historical defaults.
+    options: Dict[str, object] = field(default_factory=dict)
 
     @property
     def signature(self) -> Signature:
@@ -99,6 +104,7 @@ def entry_from_divergence(divergence: Divergence) -> CorpusEntry:
         original_source=divergence.original_source,
         expect=expect,
         trace=dict(divergence.trace),
+        options=dict(divergence.options),
     )
 
 
@@ -150,19 +156,40 @@ class Corpus:
 
 # -- replay -------------------------------------------------------------------
 
+def replay_options(
+    entry: CorpusEntry,
+    sim_backend: Optional[str] = None,
+    opt_level: Optional[int] = None,
+):
+    """The frozen :class:`repro.api.SynthesisOptions` an entry replays
+    under: the options recorded when the finding was made, with explicit
+    caller overrides winning.  Entries without recorded options (written
+    before the field existed) fall back to the historical defaults, so
+    the whole corpus replays through one code path."""
+    from ..api import DEFAULT_OPT_LEVEL, SynthesisOptions
+
+    recorded = dict(entry.options)
+    backend = sim_backend if sim_backend is not None else str(
+        recorded.get("sim_backend", "interp")
+    )
+    level = opt_level if opt_level is not None else int(
+        recorded.get("opt_level", DEFAULT_OPT_LEVEL)
+    )
+    return SynthesisOptions(
+        flow=entry.flow,
+        sim_backend=backend,
+        opt_level=level,
+    )
+
+
 def _flow_result(engine: MatrixEngine, entry: CorpusEntry, source: str,
-                 sim_backend: str = "interp",
+                 sim_backend: Optional[str] = None,
                  opt_level: Optional[int] = None):
-    options: Tuple[Tuple[str, object], ...] = ()
-    if opt_level is not None:
-        options = CellTask.make_options({"opt_level": int(opt_level)})
-    task = CellTask(
+    task = CellTask.from_options(
         workload=f"corpus-{entry.program_hash}",
         source=source,
-        flow=entry.flow,
+        options=replay_options(entry, sim_backend, opt_level),
         args=tuple(entry.args),
-        options=options,
-        sim_backend=sim_backend,
     )
     return engine.run_cells([task])[0]
 
@@ -170,7 +197,7 @@ def _flow_result(engine: MatrixEngine, entry: CorpusEntry, source: str,
 def replay_entry(
     entry: CorpusEntry,
     engine: Optional[MatrixEngine] = None,
-    sim_backend: str = "interp",
+    sim_backend: Optional[str] = None,
     opt_level: Optional[int] = None,
 ) -> Tuple[bool, str]:
     """Re-run one corpus entry's recorded check.
@@ -179,9 +206,10 @@ def replay_entry(
     ``(False, why)`` when it changed — either the bug was fixed (delete or
     refresh the entry deliberately) or behaviour drifted (investigate).
 
-    ``opt_level`` overrides the mid-end effort (None = the pinned
-    default); the cross-level replay suite uses it to assert the corpus
-    reproduces at every optimization level.
+    ``sim_backend``/``opt_level`` override the entry's recorded options
+    (None = recorded, or the historical defaults for entries that predate
+    option recording); the cross-level replay suite uses ``opt_level``
+    to assert the corpus reproduces at every optimization level.
     """
     engine = engine or MatrixEngine(jobs=1, cache=None)
 

@@ -1,0 +1,163 @@
+"""The campaign coverage signal: deterministic buckets over cell results.
+
+Coverage-guided fuzzing needs a feedback signal that is (a) cheap, (b)
+meaningful for a compiler pipeline, and (c) byte-deterministic so two
+campaigns over the same options agree bucket-for-bucket.  The matrix
+already produces both halves of that signal:
+
+* the **trace counters** PR 5 threads through every compile phase (op
+  counts, state counts, machine counts — deterministic by construction,
+  durations are excluded at the source), and
+* the **sim profiler's state-visit histograms**, summarized rank-wise
+  (the top-N visit counts, not state *names*, so buckets compare across
+  unrelated programs).
+
+Each cell result flattens into a list of string buckets via
+:func:`cell_signals`; numeric values are log2-bucketed so a counter has
+to *double* to open a new bucket (novelty means a structurally different
+program, not one more statement).  :class:`CoverageMap` counts distinct
+buckets and hit frequencies, merges across shards, and round-trips
+through JSON for the report schema.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+#: Signal family tags, in the order ``families()`` reports them.
+FAMILIES = ("verdict", "rule", "phase", "ctr", "sim", "cycles")
+
+
+def log2_bucket(value: object) -> str:
+    """Deterministic coarse bucket for one counter value.
+
+    Integers land in power-of-two buckets (0, 2^1, 2^2, ...): a counter
+    must double before it reads as new coverage.  Bools and short strings
+    pass through; anything else is repr-trimmed."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        magnitude = int(abs(value))
+        if magnitude == 0:
+            return "0"
+        return f"2^{magnitude.bit_length()}"
+    return str(value)[:24]
+
+
+def _span_names(structure, out: List[str]) -> None:
+    for node in structure:
+        if isinstance(node, list) and len(node) == 2:
+            out.append(str(node[0]))
+            _span_names(node[1], out)
+        else:
+            out.append(str(node))
+
+
+def cell_signals(result) -> List[str]:
+    """Flatten one :class:`~repro.runner.CellResult` into its coverage
+    buckets.  Pure in the result's deterministic fields — wall time,
+    cache provenance, and trace durations never leak in."""
+    from ..trace import numeric_counters_of, structure_of
+
+    flow = result.flow
+    signals = [f"{flow}:verdict:{result.verdict}"]
+    if result.rule:
+        signals.append(f"{flow}:rule:{result.rule}")
+    if result.trace:
+        names: List[str] = []
+        _span_names(structure_of(result.trace), names)
+        seen = set()
+        for name in names:
+            if name not in seen:
+                seen.add(name)
+                signals.append(f"{flow}:phase:{name}")
+        for key, value in sorted(numeric_counters_of(result.trace).items()):
+            signals.append(f"{flow}:ctr:{key}:{log2_bucket(value)}")
+    stats = getattr(result, "sim_stats", None)
+    if stats:
+        signals.append(f"{flow}:sim:machines:{stats.get('machines', 0)}")
+        signals.append(
+            f"{flow}:sim:states:{log2_bucket(stats.get('states', 0))}"
+        )
+        for rank, visits in enumerate(stats.get("visits", ())):
+            signals.append(f"{flow}:sim:rank{rank}:{log2_bucket(visits)}")
+    if result.cycles:
+        signals.append(f"{flow}:cycles:{log2_bucket(result.cycles)}")
+    return signals
+
+
+class CoverageMap:
+    """Distinct coverage buckets with hit counts.
+
+    ``add`` returns how many buckets were *new* — the novelty score the
+    seed pool's power scheduler feeds on.  Maps merge associatively and
+    commutatively (counts sum, distinct union), so shard maps fold into
+    the campaign map in any order with identical results."""
+
+    __slots__ = ("buckets",)
+
+    def __init__(self, buckets: Optional[Dict[str, int]] = None):
+        self.buckets: Dict[str, int] = dict(buckets or {})
+
+    def add(self, signals: Iterable[str]) -> int:
+        new = 0
+        for signal in signals:
+            if signal not in self.buckets:
+                new += 1
+                self.buckets[signal] = 1
+            else:
+                self.buckets[signal] += 1
+        return new
+
+    def peek(self, signals: Iterable[str]) -> int:
+        """How many of ``signals`` would be new, without recording them."""
+        return sum(1 for s in set(signals) if s not in self.buckets)
+
+    def merge(self, other: "CoverageMap") -> int:
+        new = 0
+        for signal, count in other.buckets.items():
+            if signal not in self.buckets:
+                new += 1
+                self.buckets[signal] = count
+            else:
+                self.buckets[signal] += count
+        return new
+
+    def distinct(self) -> int:
+        return len(self.buckets)
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+    def __contains__(self, signal: str) -> bool:
+        return signal in self.buckets
+
+    def families(self) -> Dict[str, int]:
+        """Distinct buckets per signal family (the report's coverage
+        summary rows)."""
+        counts: Dict[str, int] = {family: 0 for family in FAMILIES}
+        for signal in self.buckets:
+            parts = signal.split(":", 2)
+            family = parts[1] if len(parts) > 1 else "other"
+            counts[family] = counts.get(family, 0) + 1
+        return {k: v for k, v in sorted(counts.items()) if v}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "distinct": self.distinct(),
+            "families": self.families(),
+            "buckets": dict(sorted(self.buckets.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, object]]) -> "CoverageMap":
+        if not data:
+            return cls()
+        return cls(buckets=dict(data.get("buckets", {})))  # type: ignore[arg-type]
+
+    def summary(self) -> Dict[str, object]:
+        """The buckets-free form reports embed (shard rows stay small)."""
+        return {"distinct": self.distinct(), "families": self.families()}
+
+
+__all__ = ["CoverageMap", "FAMILIES", "cell_signals", "log2_bucket"]

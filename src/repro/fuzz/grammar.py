@@ -39,9 +39,13 @@ PROFILE_POINTER = "pointer"    # walking-pointer loops (pointer flows only)
 PROFILE_CHANNEL = "channel"    # producer process + rendezvous channel
 PROFILE_PAR = "par"            # par blocks with disjoint writes
 PROFILE_MIXED = "mixed"        # a bit of everything the mask allows
+# The C2HLSC checklist of HLS-breaking constructs, as profiles:
+PROFILE_INDIRECT = "indirect"    # data-dependent pointer indirection
+PROFILE_RECORD = "record"        # struct-like aggregate (parallel arrays)
+PROFILE_IRREGULAR = "irregular"  # data-dependent loop trip counts
 
 _BASE_PROFILES = [PROFILE_SCALAR, PROFILE_CONTROL, PROFILE_ARRAY,
-                  PROFILE_CALLS, PROFILE_MIXED]
+                  PROFILE_CALLS, PROFILE_MIXED, PROFILE_RECORD]
 
 
 @dataclass(frozen=True)
@@ -65,10 +69,13 @@ def available_profiles(mask: FeatureMask) -> List[str]:
     profiles = list(_BASE_PROFILES)
     if mask.allows(FEATURE_POINTERS):
         profiles.append(PROFILE_POINTER)
+        profiles.append(PROFILE_INDIRECT)
     if mask.allows(FEATURE_CHANNELS) and mask.allows_processes:
         profiles.append(PROFILE_CHANNEL)
     if mask.allows(FEATURE_PAR):
         profiles.append(PROFILE_PAR)
+    if not mask.requires_static_bounds:
+        profiles.append(PROFILE_IRREGULAR)
     return profiles
 
 
@@ -263,6 +270,95 @@ class _FuzzBuilder(_Generator):
         self.scalars.append(acc)
         return out
 
+    def indirect_walk(self, indent: int) -> List[str]:
+        """The C2HLSC pointer-indirection entry: a pointer derived from
+        runtime data (base plus masked offset), a store through it, then
+        a bounded walk.  The offset mask keeps the walk in bounds, so
+        the construct is legal wherever pointers are."""
+        pad = "    " * indent
+        if not self.arrays:
+            self.add_array()
+        name, size = self.rng.choice(self.arrays)
+        half = size // 2
+        p = self.fresh("ip")
+        off = self.fresh("io")
+        acc = self.fresh("ia")
+        walker = self.fresh("iw")
+        self.declare(off), self.declare(acc)
+        out = [
+            f"{pad}int {off} = "
+            f"({self.expression(self.scalars, 1)}) & {half - 1};",
+            f"{pad}int *{p} = &{name}[0];",
+            f"{pad}{p} = {p} + {off};",
+            f"{pad}*{p} = {self.constant()};",
+            f"{pad}int {acc} = 0;",
+            f"{pad}for (int {walker} = 0; {walker} < {half};"
+            f" {walker}++) {{",
+            f"{pad}    {acc} = {acc} + *{p};",
+            f"{pad}    {p} = {p} + 1;",
+            f"{pad}}}",
+        ]
+        self.scalars.append(acc)
+        return out
+
+    def record_block(self, indent: int) -> List[str]:
+        """The checklist's struct entry, emulated: the language has no
+        record type, so a "struct array" is parallel arrays sharing one
+        masked index — the access pattern flows must schedule together."""
+        pad = "    " * indent
+        size = self.rng.choice([4, 8])
+        base = self.fresh("rec")
+        names = []
+        for fno in range(self.rng.randint(2, 3)):
+            fname = f"{base}_f{fno}"
+            init = ", ".join(
+                str(self.rng.randint(0, 63)) for _ in range(size)
+            )
+            self.globals.append(f"int {fname}[{size}] = {{{init}}};")
+            names.append(fname)
+        idx = self.fresh("rx")
+        acc = self.fresh("ra")
+        q = self.fresh("rq")
+        self.declare(idx), self.declare(acc)
+        out = [
+            f"{pad}int {idx} = "
+            f"({self.expression(self.scalars, 1)}) & {size - 1};",
+            f"{pad}int {acc} = 0;",
+            f"{pad}for (int {q} = 0; {q} < {size}; {q}++) {{",
+            f"{pad}    {names[0]}[{q}] = {names[0]}[{q}]"
+            f" + {names[1]}[({idx} + {q}) & {size - 1}];",
+            f"{pad}}}",
+        ]
+        for fname in names:
+            out.append(f"{pad}{acc} = {acc} ^ {fname}[{idx}];")
+        self.scalars.append(acc)
+        return out
+
+    def irregular_loop(self, indent: int, depth: int) -> List[str]:
+        """The checklist's irregular-loop entry: a trip count computed
+        from runtime data.  Masked to eight or fewer iterations so the
+        interpreter's fuel bound holds, but no flow can bound the count
+        statically — which is why static-bound flows never see it."""
+        pad = "    " * indent
+        bound = self.fresh("n")
+        loop_var = self.fresh("j")
+        self.declare(bound), self.declare(loop_var)
+        out = [
+            f"{pad}int {bound} = "
+            f"(({self.expression(self.scalars, 1)}) & 7) + 1;",
+            f"{pad}for (int {loop_var} = 0; {loop_var} < {bound};"
+            f" {loop_var}++) {{",
+        ]
+        snapshot = list(self.scalars)
+        self.scalars.append(loop_var)
+        self.locked.add(loop_var)
+        for _ in range(self.rng.randint(1, 2)):
+            out += self.statement(indent + 1, depth - 1)
+        self.scalars = snapshot
+        self.locked.discard(loop_var)
+        out.append(f"{pad}}}")
+        return out
+
     def par_block(self, indent: int) -> List[str]:
         """Disjoint writes in parallel branches: each branch assigns its
         own fresh variable from pre-existing state, so the block is
@@ -359,19 +455,35 @@ def generate_program(
     mask: FeatureMask,
     boundary: bool = False,
     statements: int = 8,
+    profile: str = "",
+    profiles: Tuple[str, ...] = (),
 ) -> GeneratedProgram:
     """Synthesize one program targeting ``mask.flow``.
 
     Non-boundary programs stay strictly inside the flow's accepted subset
     (the property suite asserts they lint clean); boundary programs add
     exactly one forbidden construct and are expected to be rejected.
+
+    ``profile`` forces one shape (if the mask permits it); ``profiles``
+    restricts the rotation to an allowed subset — both are how the
+    coverage-guided scheduler steers generation without breaking the
+    pure-function-of-seed contract (the chosen profile is recorded on
+    the returned program, and the same arguments always regenerate the
+    same source).
     """
     builder = _FuzzBuilder(seed * 2 + (1 if boundary else 0), mask)
     rng = builder.rng
     builder.declare("x"), builder.declare("y")
 
-    profiles = available_profiles(mask)
-    profile = profiles[seed % len(profiles)]
+    allowed = available_profiles(mask)
+    if profiles:
+        subset = [p for p in allowed if p in profiles]
+        if subset:
+            allowed = subset
+    if profile and profile in allowed:
+        chosen = profile
+    else:
+        chosen = allowed[seed % len(allowed)]
 
     boundary_feature = ""
     if boundary:
@@ -380,31 +492,38 @@ def generate_program(
             boundary = False           # flow accepts every probe feature
         else:
             boundary_feature = choices[seed % len(choices)]
-            profile = PROFILE_SCALAR if seed % 2 == 0 else PROFILE_CONTROL
+            chosen = PROFILE_SCALAR if seed % 2 == 0 else PROFILE_CONTROL
 
-    if profile in (PROFILE_ARRAY, PROFILE_MIXED, PROFILE_POINTER):
+    if chosen in (PROFILE_ARRAY, PROFILE_MIXED, PROFILE_POINTER,
+                  PROFILE_INDIRECT):
         for _ in range(rng.randint(1, 2)):
             builder.add_array()
-    if profile in (PROFILE_CALLS, PROFILE_MIXED):
+    if chosen in (PROFILE_CALLS, PROFILE_MIXED):
         for _ in range(rng.randint(1, 2)):
             builder.add_helper()
-    if profile == PROFILE_CHANNEL or (
-        profile == PROFILE_MIXED
+    if chosen == PROFILE_CHANNEL or (
+        chosen == PROFILE_MIXED
         and mask.allows(FEATURE_CHANNELS)
         and mask.allows_processes
         and rng.random() < 0.4
     ):
         builder.add_channel_pipeline()
 
-    depth = 0 if profile == PROFILE_SCALAR else 2
+    depth = 0 if chosen == PROFILE_SCALAR else 2
     for _ in range(statements):
         builder.body += builder.statement(1, depth)
         if builder.helper_names and rng.random() < 0.25:
             builder.body += builder.call_stmt(1)
-    if profile == PROFILE_POINTER:
+    if chosen == PROFILE_POINTER:
         builder.body += builder.pointer_walk(1)
-    if profile == PROFILE_PAR or (
-        profile == PROFILE_MIXED
+    if chosen == PROFILE_INDIRECT:
+        builder.body += builder.indirect_walk(1)
+    if chosen == PROFILE_RECORD:
+        builder.body += builder.record_block(1)
+    if chosen == PROFILE_IRREGULAR:
+        builder.body += builder.irregular_loop(1, 2)
+    if chosen == PROFILE_PAR or (
+        chosen == PROFILE_MIXED
         and mask.allows(FEATURE_PAR)
         and rng.random() < 0.5
     ):
@@ -427,7 +546,7 @@ def generate_program(
         source=builder.render(),
         args=args,
         flow=mask.flow,
-        profile=profile,
+        profile=chosen,
         seed=seed,
         boundary_feature=boundary_feature,
     )

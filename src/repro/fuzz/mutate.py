@@ -376,11 +376,15 @@ def mutants(
     seed: int = 0,
     count: int = 3,
     mask: Optional[FeatureMask] = None,
+    only: Optional[List[str]] = None,
 ) -> List[Mutant]:
     """Up to ``count`` distinct valid mutants of ``source``, deterministic
-    in ``(source, seed, count)``.  ``mask`` suppresses mutations that would
-    push the program outside the target flow's subset (rotating a counted
-    loop breaks Cones' static-bounds analysis, so it is skipped there)."""
+    in ``(source, seed, count, only)``.  ``mask`` suppresses mutations that
+    would push the program outside the target flow's subset (rotating a
+    counted loop breaks Cones' static-bounds analysis, so it is skipped
+    there).  ``only`` restricts the rotation to a subset of
+    :data:`MUTATION_NAMES` — the coverage-guided scheduler's lever for
+    focusing mutation kinds on a hot parent."""
     try:
         program, _ = parse(source)
     except Exception:
@@ -388,8 +392,13 @@ def mutants(
     rng = random.Random(seed)
     catalog = _mutation_catalog()
     names = list(MUTATION_NAMES)
-    if mask is not None and mask.requires_static_bounds:
+    if only:
+        names = [n for n in names if n in only] or names
+    if mask is not None and mask.requires_static_bounds \
+            and "rotate-loop" in names:
         names.remove("rotate-loop")
+    if not names:
+        return []
 
     out: List[Mutant] = []
     seen = {source}

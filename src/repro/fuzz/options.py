@@ -1,0 +1,216 @@
+"""``FuzzOptions`` — the frozen option set behind ``run_campaign``.
+
+The campaign layer used to take an ad-hoc mutable ``CampaignConfig``; this
+module gives fuzzing the same facade :class:`repro.api.SynthesisOptions`
+gave synthesis: one frozen dataclass whose fields the CLI flags map onto
+1:1, with ``make``/``with_`` builders, a JSON-stable :meth:`identity`, and
+a payload round-trip so campaign shards can ship their exact option set
+across process boundaries.  The legacy ``CampaignConfig`` survives as a
+deprecation shim (see :func:`coerce_options`): it converts losslessly,
+warns once per process, and — because it predates coverage guidance —
+maps onto ``coverage=False`` so legacy callers get byte-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+#: Default on-disk corpus root, mirrored from :mod:`.corpus`.
+DEFAULT_CORPUS = str(Path("tests") / "corpus")
+
+
+@dataclass(frozen=True)
+class FuzzOptions:
+    """Everything that selects *what* a fuzz campaign runs.
+
+    Fields
+    ------
+    flows:
+        Flow keys to target (None = every compilable flow).
+    profiles:
+        Restrict clean-side generation to these grammar profiles
+        (empty = every profile the flow's mask allows).
+    seeds:
+        Program budget per flow.  In coverage-guided mode this is the
+        number of programs scheduled, not a literal seed range: after a
+        bootstrap pass the scheduler mints fresh seeds from the pool.
+    seed_base:
+        First base seed (campaigns are pure in their seeds).
+    campaign_seed:
+        Root of every derived random stream — pool selection, minted
+        child seeds, and the shard split are all functions of it.
+    jobs:
+        Engine worker processes per (shard of the) campaign.
+    time_budget_s:
+        Stop scheduling new work after this many seconds (0 = none).
+    reduce:
+        Delta-debug each deduplicated divergence to a 1-minimal
+        reproducer.
+    mutations:
+        Base metamorphic mutants per clean program; the power scheduler
+        may add more for high-novelty parents in coverage mode.
+    timeout_s / max_cycles:
+        Per-cell wall-clock deadline and simulation bound.
+    cache_dir:
+        Artifact cache directory ("" = caching off).  Shards share it:
+        the cache's content addressing makes concurrent reuse safe.
+    corpus_dir:
+        The triaged corpus compared against (and promoted into).
+    batch_size:
+        Cells per engine dispatch.
+    sim_backend:
+        FSMD engine for every cell ("interp", "compiled", "batched").
+    input_lanes:
+        Argument sets simulated per clean program.
+    opt_levels:
+        Cross-level mode: extra opt_levels each clean program also runs
+        at, divergences triaged as ``opt-diverge``.
+    coverage:
+        Feedback-driven mode: collect a :class:`~repro.fuzz.coverage.
+        CoverageMap` from trace counters and sim state-visit histograms
+        and let a novelty-scored seed pool steer generation.  Off, the
+        campaign runs the classic fixed-profile plan.
+    shards / shard_index:
+        Deterministic campaign split.  ``shards > 1`` with
+        ``shard_index=None`` orchestrates every shard in subprocesses
+        and merges; with an index set, only that shard's slice runs
+        (the CI matrix mode).  The slice is a pure function of
+        (campaign_seed, shard_index) — never of execution order.
+    shard_dir:
+        Where ``--update-corpus`` writes this shard's *new* findings
+        ("" = straight into ``corpus_dir``); the merge step folds shard
+        dirs back into the corpus idempotently.
+    """
+
+    flows: Optional[Tuple[str, ...]] = None
+    profiles: Tuple[str, ...] = ()
+    seeds: int = 100
+    seed_base: int = 0
+    campaign_seed: int = 0
+    jobs: int = 1
+    time_budget_s: float = 0.0
+    reduce: bool = True
+    mutations: int = 2
+    timeout_s: float = 20.0
+    max_cycles: int = 200_000
+    cache_dir: str = ""
+    corpus_dir: str = DEFAULT_CORPUS
+    batch_size: int = 200
+    sim_backend: str = "interp"
+    input_lanes: int = 1
+    opt_levels: Tuple[int, ...] = ()
+    coverage: bool = True
+    shards: int = 1
+    shard_index: Optional[int] = None
+    shard_dir: str = ""
+
+    @classmethod
+    def make(cls, base: Optional["FuzzOptions"] = None,
+             **kwargs) -> "FuzzOptions":
+        """Build options from a base plus keyword overrides, normalizing
+        the shapes the CLI and legacy configs hand over: lists become
+        tuples, paths become strings, None stays None where it means
+        "default"."""
+        base = base if base is not None else cls()
+        update: Dict[str, object] = {}
+        names = {f.name for f in fields(cls)}
+        for key, value in kwargs.items():
+            if key not in names:
+                raise TypeError(f"FuzzOptions has no field {key!r}")
+            update[key] = _normalize(key, value)
+        return replace(base, **update) if update else base
+
+    def with_(self, **kwargs) -> "FuzzOptions":
+        """A copy with field overrides (frozen-friendly)."""
+        return FuzzOptions.make(self, **kwargs)
+
+    # -- derived paths ----------------------------------------------------
+
+    @property
+    def cache_path(self) -> Optional[Path]:
+        return Path(self.cache_dir) if self.cache_dir else None
+
+    @property
+    def corpus_path(self) -> Path:
+        return Path(self.corpus_dir or DEFAULT_CORPUS)
+
+    @property
+    def promote_path(self) -> Path:
+        """Where new findings are written: the shard delta dir when set,
+        else the corpus itself."""
+        return Path(self.shard_dir) if self.shard_dir else self.corpus_path
+
+    # -- serialization ----------------------------------------------------
+
+    def identity(self) -> Dict[str, object]:
+        """The canonical JSON-stable content of the options — what the
+        report schema records and shard workers receive.  Everything is
+        identity here: unlike synthesis, a campaign's *work list* depends
+        on every field (jobs and cache_dir steer scheduling pressure only
+        through the time budget, but recording them keeps reports
+        honest)."""
+        data = asdict(self)
+        data["flows"] = list(self.flows) if self.flows is not None else None
+        data["profiles"] = list(self.profiles)
+        data["opt_levels"] = list(self.opt_levels)
+        return data
+
+    def to_payload(self) -> Dict[str, object]:
+        """A dict that survives pickling/JSON and rebuilds exactly."""
+        return self.identity()
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "FuzzOptions":
+        names = {f.name for f in fields(cls)}
+        return cls.make(**{k: v for k, v in payload.items() if k in names})
+
+
+def _normalize(key: str, value):
+    if value is None:
+        return None
+    if key in ("cache_dir", "corpus_dir", "shard_dir"):
+        return str(value)
+    if key in ("flows", "profiles"):
+        return tuple(str(v) for v in value)
+    if key == "opt_levels":
+        return tuple(int(v) for v in value)
+    return value
+
+
+def coerce_options(config) -> "FuzzOptions":
+    """Accept either a :class:`FuzzOptions` or a legacy
+    ``CampaignConfig``; the latter warns once per process and maps onto
+    ``coverage=False`` (the exact pre-redesign behaviour, so shimmed
+    callers see the same results)."""
+    if isinstance(config, FuzzOptions):
+        return config
+    from ..api import warn_legacy
+
+    warn_legacy(
+        "repro.fuzz.run_campaign(CampaignConfig)",
+        "construct a frozen repro.fuzz.FuzzOptions and call "
+        "run_campaign(options) instead",
+    )
+    return FuzzOptions.make(
+        flows=tuple(config.flows) if config.flows is not None else None,
+        seeds=config.seeds,
+        seed_base=config.seed_base,
+        jobs=config.jobs,
+        time_budget_s=config.time_budget_s,
+        reduce=config.reduce,
+        mutations=config.mutations,
+        timeout_s=config.timeout_s,
+        max_cycles=config.max_cycles,
+        cache_dir=str(config.cache_dir) if config.cache_dir else "",
+        corpus_dir=str(config.corpus_dir),
+        batch_size=config.batch_size,
+        sim_backend=config.sim_backend,
+        input_lanes=config.input_lanes,
+        opt_levels=tuple(config.opt_levels),
+        coverage=False,
+    )
+
+
+__all__ = ["FuzzOptions", "coerce_options"]

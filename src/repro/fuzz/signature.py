@@ -17,7 +17,7 @@ source.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional, Tuple
 
 from ..runner.cache import normalized_source
@@ -82,6 +82,10 @@ class Divergence:
     #: Deterministic phase trace of the reproducer — span *structure* and
     #: counters only, never durations, so corpus entries stay byte-stable.
     trace: Dict[str, object] = field(default_factory=dict)
+    #: The execution options the finding was made under (sim backend,
+    #: opt level, ...), recorded so replays reconstruct the exact frozen
+    #: option set instead of re-deriving one ad hoc.
+    options: Dict[str, object] = field(default_factory=dict)
 
     @property
     def best_source(self) -> str:
@@ -94,6 +98,20 @@ class Divergence:
             rule=self.rule,
             program_hash=program_hash(self.best_source),
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain data for the shard boundary (JSON through a process
+        pool); ``from_dict`` round-trips it exactly."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["args"] = list(self.args)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Divergence":
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs["args"] = tuple(kwargs.get("args", ()))
+        return cls(**kwargs)
 
     def describe(self) -> str:
         sig = self.signature()

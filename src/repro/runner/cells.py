@@ -160,11 +160,17 @@ class CellResult:
     # cell ran with tracing; stored next to the cached artifact so warm
     # runs still report where the time went when the cell was computed.
     trace: Optional[Dict[str, object]] = None
+    # SimProfile.coverage_stats() when the cell ran with coverage capture
+    # ({} for cells whose sim never ran, None when capture was off).  Like
+    # trace, it observes the run rather than defining it, so it lives in
+    # provenance — coverage-on and coverage-off runs share identities and
+    # cache entries written either way stay compatible.
+    sim_stats: Optional[Dict[str, object]] = None
 
     # Fields describing how the result was obtained rather than what it is
     # (cache_key is empty when caching is off, so it is provenance too;
     # the trace records durations, which vary run to run).
-    _PROVENANCE = ("wall_s", "cached", "cache_key", "trace")
+    _PROVENANCE = ("wall_s", "cached", "cache_key", "trace", "sim_stats")
 
     @property
     def ok(self) -> bool:

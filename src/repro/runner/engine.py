@@ -113,6 +113,11 @@ def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
     trace = None
     if payload.get("trace"):
         trace = TraceContext(name=f"{task.workload}:{task.flow}")
+    profile = None
+    if payload.get("coverage"):
+        from ..sim.profile import SimProfile
+
+        profile = SimProfile()
     expected = payload.get("expected")
     start = time.perf_counter()
     try:
@@ -123,6 +128,7 @@ def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
             run = compiled.run(
                 args=task.args,
                 max_cycles=int(payload.get("max_cycles", DEFAULT_MAX_CYCLES)),
+                sim_profile=profile,
             )
             cost = compiled.cost()
             try:
@@ -166,6 +172,13 @@ def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
         # Rejections keep their partial trace too: the spans up to the
         # rejecting phase show where the flow said no.
         result.trace = trace.to_dict()
+    if profile is not None:
+        # {} (not None) when the sim never ran, so coverage-aware cache
+        # readers can tell "captured, empty" from "never captured".
+        result.sim_stats = (
+            profile.coverage_stats()
+            if result.verdict in (OK, MISMATCH) else {}
+        )
     result.wall_s = time.perf_counter() - start
     return result.to_dict()
 
@@ -211,6 +224,11 @@ def execute_batch(payload: Dict[str, object]) -> List[Dict[str, object]]:
     trace = None
     if payload.get("trace"):
         trace = TraceContext(name=f"{task.workload}:{task.flow}")
+    profile = None
+    if payload.get("coverage"):
+        from ..sim.profile import SimProfile
+
+        profile = SimProfile()
     timeout_s = float(payload.get("timeout_s", 0.0))
     start = time.perf_counter()
     try:
@@ -223,6 +241,7 @@ def execute_batch(payload: Dict[str, object]) -> List[Dict[str, object]]:
             outcomes = compiled.run_batch(
                 [tuple(lane.get("args", ())) for lane in lanes],
                 max_cycles=int(payload.get("max_cycles", DEFAULT_MAX_CYCLES)),
+                sim_profile=profile,
             )
             cost = compiled.cost()
             try:
@@ -278,9 +297,18 @@ def execute_batch(payload: Dict[str, object]) -> List[Dict[str, object]]:
             else:
                 result.verdict = OK
     wall_s = (time.perf_counter() - start) / max(len(lanes), 1)
+    # The batch shares one profile (lanes run lockstep through one
+    # design), so every simulated lane reports the batch-level stats.
+    stats = None
+    if profile is not None:
+        stats = profile.coverage_stats() if profile.state_visits else {}
     for result in results:
         if trace is not None:
             result.trace = trace.to_dict()
+        if profile is not None:
+            result.sim_stats = (
+                stats if result.verdict in (OK, MISMATCH) else {}
+            )
         result.wall_s = wall_s
     return [result.to_dict() for result in results]
 
@@ -328,6 +356,10 @@ class MatrixEngine:
         ``CellResult`` (and its cache entry), so a warm re-run still
         reports where each cell's time went; a cache hit written
         *without* a trace is treated as a miss so the stats exist.
+    coverage:
+        Capture each cell's :meth:`SimProfile.coverage_stats` alongside
+        the result (the fuzz campaign's coverage signal).  Same cache
+        contract as ``trace``: hits written without stats recompute.
     """
 
     def __init__(
@@ -341,6 +373,7 @@ class MatrixEngine:
         batch_worker: Callable[
             [Dict[str, object]], List[Dict[str, object]]
         ] = execute_batch,
+        coverage: bool = False,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = cache
@@ -349,6 +382,7 @@ class MatrixEngine:
         self.worker = worker
         self.batch_worker = batch_worker
         self.trace = bool(trace)
+        self.coverage = bool(coverage)
         self._salt = environment_salt()
         self._golden: Dict[Tuple[str, str, Tuple[int, ...]], Optional[list]] = {}
         # source -> parsed (program, info), or None when unparseable.
@@ -412,6 +446,7 @@ class MatrixEngine:
             "max_cycles": self.max_cycles,
             "cache_key": key,
             "trace": self.trace,
+            "coverage": self.coverage,
         }
 
     def _lane_entry(self, task: CellTask, key: str) -> Dict[str, object]:
@@ -432,6 +467,7 @@ class MatrixEngine:
             "timeout_s": self.timeout_s,
             "max_cycles": self.max_cycles,
             "trace": self.trace,
+            "coverage": self.coverage,
             "lanes": [],
         }
 
@@ -456,6 +492,10 @@ class MatrixEngine:
                 # report; when tracing, recompute it so the stored artifact
                 # gains a trace and later warm runs can replay it.
                 if hit is not None and self.trace and hit.trace is None:
+                    hit = None
+                # Same contract for coverage capture: a hit written without
+                # sim stats recomputes so the coverage signal exists.
+                if hit is not None and self.coverage and hit.sim_stats is None:
                     hit = None
                 if hit is not None:
                     hit.wall_s = time.perf_counter() - start

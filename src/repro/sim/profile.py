@@ -53,6 +53,18 @@ class SimProfile:
         rows.sort(key=lambda row: (-row[2], row[0], row[1]))
         return rows[:top]
 
+    def coverage_stats(self, top: int = 8) -> Dict[str, object]:
+        """The deterministic summary the fuzz coverage signal buckets:
+        machine count, total state count, and the top visit counts in
+        rank order.  Ranks rather than state names, so two unrelated
+        programs with the same hot-loop shape land in the same buckets —
+        which is exactly what makes the buckets comparable."""
+        return {
+            "machines": len(self.state_visits),
+            "states": sum(len(per) for per in self.state_visits.values()),
+            "visits": [visits for _, _, visits in self.hottest(top)],
+        }
+
     def render(self, top: int = 8) -> str:
         """Human-readable block: totals first, then the hot states."""
         lines = [

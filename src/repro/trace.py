@@ -419,6 +419,22 @@ def counters_of(trace_dict: Optional[Dict[str, object]]) -> Dict[str, object]:
     return flat
 
 
+def numeric_counters_of(
+    trace_dict: Optional[Dict[str, object]],
+) -> Dict[str, int]:
+    """The integer subset of :func:`counters_of` — the deterministic
+    counts (ops, states, machines, lanes) a coverage signal may bucket.
+    Bools and any non-integral values are dropped: counters are counts
+    by contract, but a defensive filter keeps accidental floats (which
+    could carry timing jitter) out of coverage identity."""
+    flat: Dict[str, int] = {}
+    for key, value in counters_of(trace_dict).items():
+        if isinstance(value, bool) or not isinstance(value, int):
+            continue
+        flat[key] = value
+    return flat
+
+
 def merge_phase_totals(
     traces: Sequence[Optional[Dict[str, object]]],
 ) -> Dict[str, float]:
@@ -445,6 +461,7 @@ __all__ = [
     "counters_of",
     "ensure_trace",
     "merge_phase_totals",
+    "numeric_counters_of",
     "phase_totals_of",
     "sorted_phases",
     "structure_of",

@@ -8,9 +8,9 @@ import pytest
 from repro.analysis.lint import lint
 from repro.flows import COMPILABLE
 from repro.fuzz import (
-    CampaignConfig,
     Corpus,
     CorpusEntry,
+    FuzzOptions,
     MUTATION_NAMES,
     all_masks,
     available_profiles,
@@ -181,11 +181,12 @@ class TestCorpusStorage:
 
 class TestCampaignDeterminism:
     def _run(self, tmp_path):
-        config = CampaignConfig(
-            flows=["cyber"], seeds=8, jobs=1, reduce=False,
-            mutations=1, corpus_dir=tmp_path / "corpus",
+        options = FuzzOptions(
+            flows=("cyber",), seeds=8, jobs=1, reduce=False,
+            mutations=1, corpus_dir=str(tmp_path / "corpus"),
+            coverage=False,
         )
-        return run_campaign(config)
+        return run_campaign(options)
 
     def test_same_seeds_same_signatures(self, tmp_path):
         first = self._run(tmp_path)
@@ -302,12 +303,12 @@ class TestCrossLevelFuzz:
         assert stats.ok == 1 and stats.opt_cells == 2
 
     def test_campaign_cross_level_mode_is_clean(self, tmp_path):
-        config = CampaignConfig(
-            flows=["c2verilog"], seeds=8, jobs=1, reduce=False,
-            mutations=0, corpus_dir=tmp_path / "corpus",
-            opt_levels=(0, 2),
+        options = FuzzOptions(
+            flows=("c2verilog",), seeds=8, jobs=1, reduce=False,
+            mutations=0, corpus_dir=str(tmp_path / "corpus"),
+            opt_levels=(0, 2), coverage=False,
         )
-        report = run_campaign(config)
+        report = run_campaign(options)
         stats = report.stats["c2verilog"]
         assert stats.opt_cells == 2 * (stats.seeds - stats.boundary_seeds)
         assert not report.new_signatures, report.new_signatures

@@ -1,0 +1,184 @@
+"""Sharded campaigns: deterministic splits and idempotent merges.
+
+The contracts CI leans on: ``assign_shard`` partitions the seed space as
+a pure function of the campaign seed; a sharded run covers every base
+seed exactly once and folds into the same signatures as the equivalent
+single-shard run; and ``merge_corpus_dirs`` produces a byte-identical
+corpus regardless of the order shard deltas arrive in, with self-merge
+as a no-op.
+"""
+
+import json
+
+from repro.fuzz import (
+    FuzzOptions,
+    assign_shard,
+    merge_corpus_dirs,
+    run_campaign,
+)
+from repro.fuzz.shard import mix, shard_options
+
+
+class TestMix:
+    def test_stable_across_calls(self):
+        assert mix("shard", 0, 7) == mix("shard", 0, 7)
+        assert 0 <= mix("anything") < 2**32
+
+    def test_field_boundaries_matter(self):
+        assert mix("ab", "c") != mix("a", "bc")
+
+
+class TestAssignShard:
+    def test_partitions_completely_and_deterministically(self):
+        shards = 4
+        owners = {seed: assign_shard(seed, 0, shards) for seed in range(200)}
+        assert set(owners.values()) <= set(range(shards))
+        # Every shard gets work and the split is balanced-ish.
+        per_shard = [list(owners.values()).count(i) for i in range(shards)]
+        assert all(count > 20 for count in per_shard)
+        assert owners == {
+            seed: assign_shard(seed, 0, shards) for seed in range(200)
+        }
+
+    def test_campaign_seed_reshuffles(self):
+        a = [assign_shard(s, 0, 4) for s in range(100)]
+        b = [assign_shard(s, 1, 4) for s in range(100)]
+        assert a != b
+
+    def test_single_shard_owns_everything(self):
+        assert all(assign_shard(s, 3, 1) == 0 for s in range(50))
+
+
+class TestShardOptions:
+    def test_slices_index_and_divides_jobs(self):
+        parent = FuzzOptions(shards=4, jobs=8)
+        child = shard_options(parent, 2)
+        assert child.shard_index == 2
+        assert child.jobs == 2
+        assert child.shards == 4
+
+    def test_jobs_never_drop_below_one(self):
+        assert shard_options(FuzzOptions(shards=4, jobs=1), 0).jobs == 1
+
+
+class TestShardedCampaign:
+    def _options(self, tmp_path, **overrides):
+        base = dict(
+            flows=("cyber",), seeds=12, reduce=False, mutations=1,
+            corpus_dir=str(tmp_path / "corpus"), coverage=True,
+        )
+        base.update(overrides)
+        return FuzzOptions.make(**base)
+
+    def test_shards_cover_each_seed_exactly_once(self, tmp_path):
+        whole = run_campaign(self._options(tmp_path))
+        split = run_campaign(self._options(tmp_path, shards=2))
+        assert split.stats["cyber"].seeds == whole.stats["cyber"].seeds
+        assert len(split.shard_reports) == 2
+        assert sum(row["cells_run"] for row in split.shard_reports) \
+            == split.cells_run
+
+    def test_sharded_fold_is_deterministic(self, tmp_path):
+        first = run_campaign(self._options(tmp_path, shards=2))
+        second = run_campaign(self._options(tmp_path, shards=2))
+        assert first.coverage.buckets == second.coverage.buckets
+        assert [d.signature().id for d in first.divergences] \
+            == [d.signature().id for d in second.divergences]
+        assert first.new_signatures == second.new_signatures
+
+    def test_explicit_shard_index_runs_one_slice(self, tmp_path):
+        slices = [
+            run_campaign(self._options(tmp_path, shards=2, shard_index=i))
+            for i in range(2)
+        ]
+        total = sum(r.stats["cyber"].seeds for r in slices)
+        assert total == 12
+        assert all(len(r.shard_reports) == 0 for r in slices)
+
+
+class TestCorpusMerge:
+    def _write(self, root, rel, payload):
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(payload)
+        return path
+
+    def test_merge_is_order_independent(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        self._write(a, "cyber/one.json", b'{"x": 1}')
+        self._write(a, "cyber/shared.json", b'{"x": 0}')
+        self._write(b, "cash/two.json", b'{"y": 2}')
+        self._write(b, "cyber/shared.json", b'{"x": 9}')
+
+        forward, backward = tmp_path / "fwd", tmp_path / "bwd"
+        merge_corpus_dirs([a, b], forward)
+        merge_corpus_dirs([b, a], backward)
+
+        def snapshot(root):
+            return {
+                p.relative_to(root).as_posix(): p.read_bytes()
+                for p in sorted(root.glob("*/*.json"))
+            }
+
+        assert snapshot(forward) == snapshot(backward)
+        # Conflict kept the lexicographically smaller bytes.
+        assert snapshot(forward)["cyber/shared.json"] == b'{"x": 0}'
+
+    def test_merge_is_idempotent(self, tmp_path):
+        src, dest = tmp_path / "src", tmp_path / "dest"
+        self._write(src, "cyber/one.json", b'{"x": 1}')
+        first = merge_corpus_dirs([src], dest)
+        assert first.copied == ["cyber/one.json"] and first.changed
+        second = merge_corpus_dirs([src], dest)
+        assert not second.changed
+        assert second.identical == 1
+        # Self-merge of the destination is also a no-op.
+        third = merge_corpus_dirs([dest], dest)
+        assert not third.changed and third.identical == 1
+
+    def test_dest_conflicts_prefer_smaller_bytes(self, tmp_path):
+        src, dest = tmp_path / "src", tmp_path / "dest"
+        self._write(dest, "cyber/e.json", b'{"v": 5}')
+        self._write(src, "cyber/e.json", b'{"v": 3}')
+        report = merge_corpus_dirs([src], dest)
+        assert report.conflicts == ["cyber/e.json"]
+        assert (dest / "cyber/e.json").read_bytes() == b'{"v": 3}'
+        # The larger byte string never overwrites a smaller incumbent.
+        self._write(src, "cyber/e.json", b'{"v": 7}')
+        again = merge_corpus_dirs([src], dest)
+        assert not again.changed
+        assert (dest / "cyber/e.json").read_bytes() == b'{"v": 3}'
+
+    def test_sharded_deltas_merge_identically_any_order(self, tmp_path):
+        """End to end: two shard runs promote their new findings into
+        per-shard delta dirs; merging the deltas in either order yields a
+        byte-identical corpus."""
+        from repro.fuzz import promote
+
+        deltas = []
+        for index in range(2):
+            options = FuzzOptions.make(
+                flows=("cash",), seeds=30, reduce=False, mutations=1,
+                corpus_dir=str(tmp_path / "empty"), coverage=False,
+                shards=2, shard_index=index,
+                shard_dir=str(tmp_path / f"delta{index}"),
+            )
+            report = run_campaign(options)
+            promote(report, options.promote_path,
+                    only=set(report.new_signatures))
+            deltas.append(options.promote_path)
+
+        def snapshot(root):
+            out = {}
+            for p in sorted(root.glob("*/*.json")):
+                out[p.relative_to(root).as_posix()] = json.loads(
+                    p.read_text()
+                )
+            return out
+
+        forward, backward = tmp_path / "fwd", tmp_path / "bwd"
+        merge_corpus_dirs(deltas, forward)
+        merge_corpus_dirs(list(reversed(deltas)), backward)
+        merged = snapshot(forward)
+        assert merged == snapshot(backward)
+        assert merged, "expected cash divergences to promote"
